@@ -1,0 +1,28 @@
+"""Fig. 10: IPC weight sensitivity (C6) and CPU core-count scaling."""
+
+from conftest import BENCH_SCALE, SEED, run_once
+
+from repro.experiments.figures import fig10_weights_cores
+from repro.experiments.report import format_table
+
+
+def test_fig10_weights_and_cores(benchmark):
+    out = run_once(benchmark, fig10_weights_cores, "C6", scale=BENCH_SCALE,
+                   seed=SEED)
+
+    print("\nFig. 10(a): CPU:GPU IPC weight sweep on C6 "
+          "(slowdown vs running alone; lower is better):")
+    print(format_table(["weight ratio", "CPU slowdown", "GPU slowdown"],
+                       [[r["weight_ratio"], r["cpu_slowdown"],
+                         r["gpu_slowdown"]] for r in out["weights"]]))
+    print("\nFig. 10(b): CPU core-count scaling (weighted speedup):")
+    print(format_table(["CPU cores", "hydrogen", "profess"],
+                       [[r["cpu_cores"], r["hydrogen_speedup"],
+                         r["profess_speedup"]] for r in out["cores"]]))
+
+    w = out["weights"]
+    # Higher CPU weight lowers (or holds) the CPU slowdown; the GPU pays.
+    assert w[-1]["cpu_slowdown"] <= w[0]["cpu_slowdown"] * 1.05
+    assert w[-1]["gpu_slowdown"] >= w[0]["gpu_slowdown"] * 0.9
+    assert len(out["cores"]) == 3
+    assert all(r["hydrogen_speedup"] > 0.8 for r in out["cores"])

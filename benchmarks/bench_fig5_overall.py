@@ -1,0 +1,57 @@
+"""Fig. 5: overall performance comparison of all designs on all 12 mixes,
+with HBM2E (a) and HBM3 (b) fast tiers.  Also writes the artifact-style
+``perf.csv`` (task T3)."""
+
+import os
+
+from conftest import BENCH_SCALE, SEED, run_once
+
+from repro.experiments.figures import fig5_overall, fig5_summary
+from repro.experiments.report import (PERF_HEADERS, format_table,
+                                      perf_csv_rows, to_csv)
+from repro.experiments.runner import geomean
+from repro.traces.mixes import ALL_MIXES
+
+
+def _print_fig5(results, title):
+    designs = list(results)
+    print(f"\n{title} (weighted speedup vs non-partitioned baseline):")
+    rows = []
+    for mix in ALL_MIXES:
+        rows.append([mix] + [results[d][mix].weighted_speedup
+                             for d in designs])
+    rows.append(["geomean"] + [
+        geomean([results[d][m].weighted_speedup for m in ALL_MIXES])
+        for d in designs])
+    print(format_table(["mix"] + designs, rows))
+
+
+def test_fig5a_hbm2e(benchmark):
+    results = run_once(benchmark, fig5_overall, scale=BENCH_SCALE, seed=SEED)
+    _print_fig5(results, "Fig. 5(a) HBM2E")
+
+    csv_path = os.path.join(os.path.dirname(__file__), "..", "perf.csv")
+    to_csv(PERF_HEADERS, perf_csv_rows(results), os.path.abspath(csv_path))
+    print(f"\nperf.csv written ({os.path.abspath(csv_path)})")
+
+    gm = {d: geomean([results[d][m].weighted_speedup for m in ALL_MIXES])
+          for d in results}
+    # Shape assertions (see EXPERIMENTS.md for the paper-vs-measured record):
+    # Hydrogen's pieces stack, and the full design beats the non-partitioned
+    # baseline and the weak baselines.
+    assert gm["hydrogen"] > 1.0
+    assert gm["hydrogen"] >= gm["hydrogen-dp-token"] * 0.97
+    assert gm["hydrogen-dp-token"] >= gm["hydrogen-dp"] * 0.98
+    assert gm["hydrogen"] > gm["waypart"]
+    assert gm["hydrogen"] > gm["hydrogen-dp"]
+
+
+def test_fig5b_hbm3(benchmark):
+    results = run_once(benchmark, fig5_overall, fast="hbm3",
+                       scale=BENCH_SCALE, seed=SEED)
+    _print_fig5(results, "Fig. 5(b) HBM3")
+    gm = {d: geomean([results[d][m].weighted_speedup for m in ALL_MIXES])
+          for d in results}
+    assert gm["hydrogen"] > 0.95  # still competitive with more fast BW
+    print("\n(Speedups shrink under HBM3: more fast bandwidth makes "
+          "bandwidth partitioning less critical, as in the paper.)")

@@ -1,0 +1,28 @@
+"""Fig. 7: fast-memory swap methods and reconfiguration overheads."""
+
+from conftest import BENCH_SCALE, SEED, run_once
+
+from repro.experiments.figures import fig7_overheads
+from repro.experiments.report import format_table
+
+
+def test_fig7_swap_and_reconfig(benchmark):
+    out = run_once(benchmark, fig7_overheads, scale=BENCH_SCALE, seed=SEED)
+
+    print("\nFig. 7(a): fast-memory swap methods (geomean weighted speedup):")
+    print(format_table(["variant", "geomean speedup"],
+                       [[r["variant"], r["geomean_speedup"]]
+                        for r in out["swap"]]))
+    print("\nFig. 7(b): reconfiguration (geomean weighted speedup):")
+    print(format_table(["variant", "geomean speedup"],
+                       [[r["variant"], r["geomean_speedup"]]
+                        for r in out["reconfig"]]))
+
+    swap = {r["variant"]: r["geomean_speedup"] for r in out["swap"]}
+    recfg = {r["variant"]: r["geomean_speedup"] for r in out["reconfig"]}
+    # Paper: Ideal swap is only a few % above Hydrogen's swap; NoSwap is
+    # the worst; lazy reconfig costs only a few % vs instant reconfig.
+    assert swap["ideal"] >= swap["hydrogen"] * 0.97
+    assert swap["hydrogen"] >= swap["noswap"] * 0.97
+    assert recfg["ideal-reconfig"] >= recfg["hydrogen"] * 0.95
+    assert recfg["hydrogen"] >= recfg["ideal-reconfig"] * 0.85

@@ -1,0 +1,29 @@
+"""Fig. 8: exhaustive (cap, bw, tok) search vs the online hill climber, C5."""
+
+from conftest import BENCH_SCALE, SEED, run_once
+
+from repro.experiments.figures import fig8_search
+from repro.experiments.report import format_table
+
+
+def test_fig8_exhaustive_vs_online(benchmark):
+    out = run_once(benchmark, fig8_search, "C5", scale=BENCH_SCALE, seed=SEED)
+
+    grid = sorted(out["grid"], key=lambda g: -g["weighted_speedup"])
+    print("\nFig. 8: static configurations on C5 "
+          "(weighted speedup vs baseline), top/bottom 5:")
+    shown = grid[:5] + grid[-5:]
+    print(format_table(["cap", "bw", "tok", "speedup"],
+                       [[g["cap"], g["bw"], g["tok"], g["weighted_speedup"]]
+                        for g in shown]))
+    print(f"\nonline Hydrogen: {out['online_speedup']:.3f}")
+    print(f"best static:     {out['best_static']:.3f}  "
+          f"(online = {out['online_vs_best']:.1%} of best; paper: 96.1%)")
+    print(f"median static:   {out['median_static']:.3f}  "
+          f"(best/median = {out['best_vs_median']:.2f}x; paper: 1.73x)")
+
+    # The configuration choice matters (spread between best and median),
+    # and the online search lands close to the offline best.
+    assert out["best_vs_median"] > 1.02
+    assert out["online_vs_best"] > 0.80
+    assert len(out["grid"]) >= 20

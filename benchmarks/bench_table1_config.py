@@ -1,0 +1,38 @@
+"""Table I: system configuration consistency and construction cost."""
+
+from conftest import run_once
+
+from repro.config import default_system, hbm3, validate_ratios
+
+
+def build_and_validate():
+    cfg = default_system()
+    ratios = validate_ratios(cfg)
+    h3 = cfg.with_fast(hbm3())
+    return cfg, ratios, h3
+
+
+def test_table1_configuration(benchmark):
+    cfg, ratios, h3 = run_once(benchmark, build_and_validate)
+
+    print("\nTable I (scaled per DESIGN.md section 6):")
+    print(f"  CPU: {cfg.cpu.cores} cores, L1 {cfg.cpu.l1.size >> 10} kB/core, "
+          f"L2 {cfg.cpu.l2.size >> 20} MB/core")
+    print(f"  GPU: {cfg.gpu.execution_units} EUs, "
+          f"L1 {cfg.gpu.l1.size >> 10} kB per {cfg.gpu.eus_per_subslice} EUs")
+    print(f"  LLC: {cfg.llc.size >> 20} MB, {cfg.llc.ways}-way, "
+          f"{cfg.llc.latency:.0f}-cycle latency")
+    print(f"  Fast: {cfg.fast.name}, {cfg.fast.channels} superchannels, "
+          f"{cfg.fast.capacity >> 20} MB, {cfg.fast.bandwidth_gbps:.0f} GB/s")
+    print(f"  Slow: {cfg.slow.name}, {cfg.slow.channels} channels, "
+          f"{cfg.slow.capacity >> 20} MB, {cfg.slow.bandwidth_gbps:.0f} GB/s")
+    print(f"  Hybrid: {cfg.hybrid.block} B blocks, {cfg.hybrid.assoc}-way "
+          f"{cfg.hybrid.mode} mode, {cfg.num_sets} sets")
+    print(f"  Ratios: {ratios}")
+    print(f"  HBM3 variant: {h3.fast.bandwidth_gbps:.0f} GB/s")
+
+    # Table I invariants.
+    assert cfg.cpu.cores == 8 and cfg.gpu.execution_units == 96
+    assert ratios["fast_slow_capacity_ratio"] == 1 / 8
+    assert ratios["fast_slow_bandwidth_ratio"] == 4.0
+    assert h3.fast.bandwidth_gbps == 2 * cfg.fast.bandwidth_gbps

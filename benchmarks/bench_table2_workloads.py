@@ -1,0 +1,27 @@
+"""Table II: the 12 workload combinations, generated and characterized."""
+
+from conftest import SEED, run_once
+
+from repro.experiments.figures import table2_workloads
+from repro.experiments.report import format_table
+from repro.traces.mixes import MIXES
+
+
+def test_table2_workloads(benchmark):
+    rows = run_once(benchmark, table2_workloads, seed=SEED)
+
+    print("\nTable II (generated traces):")
+    print(format_table(
+        ["mix", "CPU workloads", "GPU", "footprint MB",
+         "gpu refs/block", "gpu wr frac"],
+        [[r["mix"], r["cpu_workloads"], r["gpu_workload"],
+          round(r["footprint_mb"], 1), r["gpu_refs_per_block"],
+          r["gpu_write_frac"]] for r in rows]))
+
+    assert len(rows) == 12
+    by_mix = {r["mix"]: r for r in rows}
+    for mix, (cpu_names, gpu_name) in MIXES.items():
+        assert by_mix[mix]["gpu_workload"] == gpu_name
+        assert by_mix[mix]["cpu_workloads"] == "-".join(sorted(set(cpu_names)))
+    # GPU traces carry 256B-block spatial locality.
+    assert all(r["gpu_refs_per_block"] > 1.5 for r in rows)

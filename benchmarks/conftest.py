@@ -1,0 +1,33 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one of the paper's tables/figures from fresh
+simulations and prints the same rows/series the paper reports.  Simulated
+trace length is controlled by ``$REPRO_SCALE`` (1.0 = the library's default
+scaled run; the benchmarks default to 0.4 so the full suite finishes in
+tens of minutes — see EXPERIMENTS.md for the fidelity discussion).
+"""
+
+import os
+
+import pytest
+
+#: Benchmark-default reference-count scale (overridable via $REPRO_SCALE).
+BENCH_SCALE = float(os.environ.get("REPRO_SCALE", 0.4))
+
+#: Deterministic seed for every benchmark.
+SEED = 7
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a whole-figure driver exactly once under pytest-benchmark.
+
+    These are end-to-end experiment regenerations (tens of seconds), not
+    microbenchmarks, so a single round is the right measurement.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return BENCH_SCALE

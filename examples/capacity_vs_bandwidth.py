@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's motivating observation (Section III-B, Fig. 2):
+CPUs want fast-memory *capacity*, GPUs want fast-memory *bandwidth*.
+
+Sweeps the fast tier's channel count (bandwidth) and capacity in the shared
+system and prints how CPU and GPU performance respond.
+
+Run:  python examples/capacity_vs_bandwidth.py
+"""
+
+from dataclasses import replace
+
+from repro import build_mix, default_system
+from repro.experiments.report import format_table
+from repro.experiments.runner import run_mix
+
+
+def main() -> None:
+    base = default_system()
+    mix = build_mix("C1", cpu_refs=5_000, gpu_refs=40_000)
+    ref = run_mix("baseline", mix, base)
+
+    rows = []
+    for ch in (4, 2, 1):
+        cfg = base.with_fast(replace(base.fast, channels=ch))
+        r = run_mix("baseline", mix, cfg)
+        rows.append([f"{ch} channels", "bandwidth",
+                     ref.cpu_cycles / r.cpu_cycles,
+                     ref.gpu_cycles / r.gpu_cycles])
+    for frac in (1.0, 0.5, 0.25):
+        cap = int(base.fast.capacity * frac)
+        cfg = base.with_fast(replace(base.fast, capacity=cap))
+        r = run_mix("baseline", mix, cfg)
+        rows.append([f"{cap >> 20} MB", "capacity",
+                     ref.cpu_cycles / r.cpu_cycles,
+                     ref.gpu_cycles / r.gpu_cycles])
+
+    print("Relative performance when shrinking one fast-memory resource")
+    print("(1.0 = full-resource configuration; Fig. 2(b)/(c) shape):\n")
+    print(format_table(
+        ["fast memory", "resource", "CPU perf", "GPU perf"], rows))
+    print("\nExpected shape: the CPU column falls with capacity but barely "
+          "with bandwidth;\nthe GPU column falls with bandwidth but barely "
+          "with capacity.")
+
+
+if __name__ == "__main__":
+    main()

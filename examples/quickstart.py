@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one CPU-GPU workload mix under the non-partitioned
+baseline and under Hydrogen, and compare.
+
+Run:  python examples/quickstart.py [MIX]   (default C1)
+"""
+
+import sys
+
+from repro import build_mix, default_system, simulate
+from repro.core.hydrogen import HydrogenPolicy
+from repro.experiments.designs import make_policy
+from repro.experiments.runner import weighted_speedup
+
+
+def main() -> None:
+    mix_name = sys.argv[1] if len(sys.argv) > 1 else "C3"
+    cfg = default_system()
+    # Moderately shortened traces: finishes in ~15 s while leaving the
+    # online tuner enough epochs to converge and pay off.
+    mix = build_mix(mix_name, cpu_refs=8_000, gpu_refs=60_000)
+
+    print(f"Simulating {mix_name}: "
+          f"{len(mix.cpu_traces)} CPU agents + {len(mix.gpu_traces)} GPU agent, "
+          f"{mix.footprint / 2**20:.0f} MB total footprint")
+    print(f"System: {cfg.fast.name} fast tier ({cfg.fast.capacity >> 20} MB, "
+          f"{cfg.fast.bandwidth_gbps:.0f} GB/s) + {cfg.slow.name} "
+          f"({cfg.slow.capacity >> 20} MB, {cfg.slow.bandwidth_gbps:.0f} GB/s)")
+
+    base = simulate(cfg, make_policy("baseline"), mix)
+    hydro = simulate(cfg, HydrogenPolicy.full(), mix)
+    combo = weighted_speedup(hydro, base, cfg.weight_cpu, cfg.weight_gpu)
+
+    print(f"\n{'':24s}{'baseline':>12s}{'hydrogen':>12s}")
+    print(f"{'CPU cycles':24s}{base.cpu_cycles:12.0f}{hydro.cpu_cycles:12.0f}")
+    print(f"{'GPU cycles':24s}{base.gpu_cycles:12.0f}{hydro.gpu_cycles:12.0f}")
+    print(f"{'CPU fast hit rate':24s}{base.hit_rate('cpu'):12.3f}"
+          f"{hydro.hit_rate('cpu'):12.3f}")
+    print(f"{'GPU fast hit rate':24s}{base.hit_rate('gpu'):12.3f}"
+          f"{hydro.hit_rate('gpu'):12.3f}")
+    print(f"{'memory energy (uJ)':24s}{base.energy.total_nj/1e3:12.1f}"
+          f"{hydro.energy.total_nj/1e3:12.1f}")
+    print(f"\nHydrogen weighted speedup vs baseline: "
+          f"{combo.weighted_speedup:.3f}x "
+          f"(CPU {combo.speedup_cpu:.3f}x, GPU {combo.speedup_gpu:.3f}x)")
+    print(f"Hydrogen final configuration: {hydro.policy_state}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setup shim: lets `pip install -e .` work on offline hosts that lack the
+`wheel` package (legacy editable install path)."""
+from setuptools import setup
+
+setup()

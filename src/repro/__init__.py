@@ -1,0 +1,29 @@
+"""Hydrogen reproduction: contention-aware hybrid memory for heterogeneous
+CPU-GPU architectures (Li & Gao, SC 2024).
+
+Public API quick tour::
+
+    from repro import default_system, build_mix, simulate
+    from repro.core.hydrogen import HydrogenPolicy
+
+    cfg = default_system()
+    mix = build_mix("C1")
+    result = simulate(cfg, HydrogenPolicy.full(), mix)
+    print(result.ipc_cpu, result.ipc_gpu, result.hit_rate("cpu"))
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.config import (SystemConfig, default_system, ddr4, hbm2e, hbm3,
+                          validate_ratios)
+from repro.engine.simulator import SimResult, Simulation, simulate
+from repro.traces.mixes import ALL_MIXES, MIXES, WorkloadMix, build_mix
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SystemConfig", "default_system", "ddr4", "hbm2e", "hbm3",
+    "validate_ratios", "SimResult", "Simulation", "simulate",
+    "ALL_MIXES", "MIXES", "WorkloadMix", "build_mix", "__version__",
+]

@@ -1,0 +1,7 @@
+"""On-chip cache substrate (Table I): functional L1/L2/LLC caches and
+raw-trace filtering (the artifact's T1 pipeline stage)."""
+
+from repro.cachesim.cache import Cache
+from repro.cachesim.hierarchy import CacheHierarchy, filter_trace
+
+__all__ = ["Cache", "CacheHierarchy", "filter_trace"]

@@ -1,0 +1,90 @@
+"""Functional set-associative SRAM cache with LRU replacement.
+
+Used for the on-chip hierarchy of Table I (CPU L1/L2, GPU L1, shared LLC).
+The caches are *functional*: they classify each reference as hit or miss
+(with a fixed hit latency) and emit the miss/writeback stream for the next
+level.  The hybrid-memory study operates below the LLC, so cycle-accurate
+core-cache interaction is out of scope — this matches the paper's
+trace-driven methodology where traces already encode the instruction gaps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import CacheConfig
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one cache access."""
+
+    hit: bool
+    latency: float
+    #: Dirty line evicted by this access, or None.
+    writeback_addr: int | None = None
+
+
+class Cache:
+    """Write-back, write-allocate, true-LRU set-associative cache."""
+
+    def __init__(self, cfg: CacheConfig, name: str = "cache") -> None:
+        self.cfg = cfg
+        self.name = name
+        self.sets = cfg.sets
+        self.ways = cfg.ways
+        self.line = cfg.line
+        # Per set: list of (tag, dirty) in LRU order (index 0 = LRU).
+        self._lines: list[list[list]] = [[] for _ in range(self.sets)]
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+
+    def _locate(self, addr: int) -> tuple[int, int]:
+        line = addr // self.line
+        return line % self.sets, line
+
+    def access(self, addr: int, is_write: bool) -> AccessResult:
+        """Reference ``addr``; returns hit/miss plus any dirty victim."""
+        set_idx, tag = self._locate(addr)
+        ways = self._lines[set_idx]
+        for i, entry in enumerate(ways):
+            if entry[0] == tag:
+                ways.append(ways.pop(i))  # move to MRU
+                if is_write:
+                    entry[1] = True
+                self.hits += 1
+                return AccessResult(True, self.cfg.latency)
+
+        self.misses += 1
+        wb = None
+        if len(ways) >= self.ways:
+            victim_tag, victim_dirty = ways.pop(0)
+            if victim_dirty:
+                self.writebacks += 1
+                wb = victim_tag * self.line
+        ways.append([tag, is_write])
+        return AccessResult(False, self.cfg.latency, writeback_addr=wb)
+
+    def contains(self, addr: int) -> bool:
+        set_idx, tag = self._locate(addr)
+        return any(e[0] == tag for e in self._lines[set_idx])
+
+    def invalidate(self, addr: int) -> bool:
+        """Drop a line if present; returns whether it was dirty."""
+        set_idx, tag = self._locate(addr)
+        ways = self._lines[set_idx]
+        for i, entry in enumerate(ways):
+            if entry[0] == tag:
+                ways.pop(i)
+                return bool(entry[1])
+        return False
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def occupancy(self) -> int:
+        """Number of valid lines currently resident."""
+        return sum(len(w) for w in self._lines)

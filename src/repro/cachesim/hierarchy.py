@@ -1,0 +1,100 @@
+"""On-chip cache hierarchy (Table I) and raw-trace filtering.
+
+``CacheHierarchy`` models one agent's private path (CPU: L1+L2, GPU: L1)
+plus its slice of the shared LLC.  ``filter_trace`` replays a raw
+(core-level) reference stream through the hierarchy and emits the
+memory-level trace that reaches the hybrid memory controller — the offline
+equivalent of the paper's T1 trace-generation task.  Filtering accumulates
+the on-chip hit latencies and gaps of absorbed references into the gap of
+the next surviving reference, so the memory-level trace carries the same
+instruction-time content as the raw one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import CacheConfig, SystemConfig
+from repro.cachesim.cache import Cache
+from repro.traces.base import Trace
+
+
+class CacheHierarchy:
+    """Private levels + LLC slice for one trace agent."""
+
+    def __init__(self, levels: list[Cache]) -> None:
+        if not levels:
+            raise ValueError("need at least one cache level")
+        self.levels = levels
+
+    @classmethod
+    def for_cpu(cls, cfg: SystemConfig, llc_slice: CacheConfig | None = None) -> "CacheHierarchy":
+        llc = llc_slice or _llc_slice(cfg, cfg.cpu.cores + 1)
+        return cls([Cache(cfg.cpu.l1, "L1"), Cache(cfg.cpu.l2, "L2"),
+                    Cache(llc, "LLC")])
+
+    @classmethod
+    def for_gpu(cls, cfg: SystemConfig, llc_slice: CacheConfig | None = None) -> "CacheHierarchy":
+        llc = llc_slice or _llc_slice(cfg, cfg.cpu.cores + 1)
+        # All subslice L1s aggregated into one functional L1.
+        total_l1 = CacheConfig(cfg.gpu.l1.size * cfg.gpu.subslices,
+                               cfg.gpu.l1.ways, cfg.gpu.l1.line,
+                               cfg.gpu.l1.latency)
+        return cls([Cache(total_l1, "GPU-L1"), Cache(llc, "LLC")])
+
+    def access(self, addr: int, is_write: bool) -> tuple[bool, float, list[int]]:
+        """Returns (reached_memory, on_chip_latency, writeback_addrs)."""
+        latency = 0.0
+        writebacks: list[int] = []
+        for cache in self.levels:
+            res = cache.access(addr, is_write)
+            latency += res.latency
+            if res.writeback_addr is not None:
+                writebacks.append(res.writeback_addr)
+            if res.hit:
+                return False, latency, writebacks
+        return True, latency, writebacks
+
+
+def _llc_slice(cfg: SystemConfig, sharers: int) -> CacheConfig:
+    """Static approximation of one agent's share of the LLC.
+
+    Offline trace filtering cannot interleave agents, so each gets an equal
+    capacity slice; the dynamic LLC contention the paper cares about lives
+    in the hybrid-memory tier below, which the DES models directly.
+    """
+    return CacheConfig(max(cfg.llc.line * cfg.llc.ways,
+                           cfg.llc.size // sharers),
+                       cfg.llc.ways, cfg.llc.line, cfg.llc.latency)
+
+
+def filter_trace(trace: Trace, hierarchy: CacheHierarchy) -> Trace:
+    """Replay ``trace`` through ``hierarchy``; return the memory-level trace."""
+    addrs = trace.addrs
+    writes = trace.writes
+    gaps = trace.gaps
+    out_addrs: list[int] = []
+    out_writes: list[bool] = []
+    out_gaps: list[float] = []
+    pending_gap = 0.0
+    for i in range(len(addrs)):
+        missed, latency, writebacks = hierarchy.access(int(addrs[i]), bool(writes[i]))
+        pending_gap += float(gaps[i])
+        if missed:
+            out_addrs.append(int(addrs[i]))
+            out_writes.append(bool(writes[i]))
+            out_gaps.append(pending_gap)
+            pending_gap = 0.0
+        else:
+            pending_gap += latency
+        for wb in writebacks:
+            out_addrs.append(wb)
+            out_writes.append(True)
+            out_gaps.append(0.0)
+    if not out_addrs:  # fully cache-resident workload
+        out_addrs, out_writes, out_gaps = [int(addrs[0])], [False], [pending_gap]
+    return Trace(trace.name, trace.klass,
+                 np.asarray(out_addrs, dtype=np.int64),
+                 np.asarray(out_writes, dtype=bool),
+                 np.asarray(out_gaps, dtype=np.float32),
+                 trace.footprint, trace.base)

@@ -1,0 +1,217 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+The CLI mirrors the paper artifact's three tasks: trace generation (T1),
+simulation (T2), and result extraction (T3), plus figure regeneration.
+
+Commands
+--------
+``run``      simulate one design on one mix (or custom mix spec)
+``compare``  run several designs on one mix, normalized to the baseline
+``fig``      regenerate one of the paper's figures/tables
+``traces``   generate and save the traces of a mix (artifact T1)
+``config``   dump the (possibly overridden) system configuration as JSON
+``designs``  list available designs and workloads
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.config import default_system, hbm3
+from repro.config_io import apply_overrides, config_from_json, config_to_json
+from repro.engine.simulator import simulate
+from repro.experiments import figures
+from repro.experiments.designs import ALL_DESIGNS, FIG5_DESIGNS, design_config, make_policy
+from repro.experiments.report import format_table
+from repro.experiments.runner import compare_designs, weighted_speedup
+from repro.traces.cpu import CPU_SPECS
+from repro.traces.gpu import GPU_SPECS
+from repro.traces.io import build_custom_mix, save_mix
+from repro.traces.mixes import ALL_MIXES, build_mix
+
+
+def _load_cfg(args) -> "SystemConfig":
+    cfg = config_from_json(args.config) if getattr(args, "config", None) \
+        else default_system()
+    if getattr(args, "hbm3", False):
+        cfg = cfg.with_fast(hbm3())
+    overrides = {}
+    for item in getattr(args, "set", None) or []:
+        key, _, value = item.partition("=")
+        if not _:
+            raise SystemExit(f"--set expects key=value, got {item!r}")
+        overrides[key] = json.loads(value)
+    if overrides:
+        cfg = apply_overrides(cfg, overrides)
+    return cfg
+
+
+def _build_mix(args):
+    if ":" in args.mix:
+        return build_custom_mix(args.mix, seed=args.seed, scale=args.scale)
+    return build_mix(args.mix, seed=args.seed, scale=args.scale)
+
+
+def cmd_run(args) -> int:
+    cfg = _load_cfg(args)
+    mix = _build_mix(args)
+    policy = make_policy(args.design)
+    cfg = design_config(args.design, cfg)
+    res = simulate(cfg, policy, mix)
+    out = {
+        "mix": res.mix, "design": res.policy,
+        "cpu_cycles": res.cpu_cycles, "gpu_cycles": res.gpu_cycles,
+        "ipc_cpu": round(res.ipc_cpu, 4), "ipc_gpu": round(res.ipc_gpu, 4),
+        "cpu_hit_rate": round(res.hit_rate("cpu"), 4),
+        "gpu_hit_rate": round(res.hit_rate("gpu"), 4),
+        "energy_uj": round(res.energy.total_nj / 1e3, 2),
+        "policy_state": res.policy_state,
+    }
+    print(json.dumps(out, indent=2))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    cfg = _load_cfg(args)
+    mix = _build_mix(args)
+    designs = tuple(args.designs.split(",")) if args.designs else FIG5_DESIGNS
+    out = compare_designs(mix, designs, cfg)
+    rows = [[name, c.weighted_speedup, c.speedup_cpu, c.speedup_gpu,
+             c.result.hit_rate("cpu"), c.result.hit_rate("gpu")]
+            for name, c in out.items()]
+    print(format_table(
+        ["design", "weighted", "CPU", "GPU", "cpu hit", "gpu hit"], rows))
+    return 0
+
+
+FIG_DRIVERS = {
+    "table2": lambda a: figures.table2_workloads(seed=a.seed),
+    "fig2a": lambda a: figures.fig2_slowdowns(scale=a.scale, seed=a.seed),
+    "fig2bcd": lambda a: figures.fig2_sensitivity(scale=a.scale, seed=a.seed),
+    "fig5": lambda a: figures.fig5_summary(
+        figures.fig5_overall(scale=a.scale, seed=a.seed)),
+    "fig5-hbm3": lambda a: figures.fig5_summary(
+        figures.fig5_overall(fast="hbm3", scale=a.scale, seed=a.seed)),
+    "fig6": lambda a: figures.fig6_energy(scale=a.scale, seed=a.seed),
+    "fig7": lambda a: figures.fig7_overheads(scale=a.scale, seed=a.seed),
+    "fig8": lambda a: figures.fig8_search(scale=a.scale, seed=a.seed),
+    "fig9": lambda a: figures.fig9_epochs(scale=a.scale, seed=a.seed),
+    "fig10": lambda a: figures.fig10_weights_cores(scale=a.scale,
+                                                   seed=a.seed),
+    "fig11": lambda a: figures.fig11_geometry(scale=a.scale, seed=a.seed),
+}
+
+
+def cmd_fig(args) -> int:
+    driver = FIG_DRIVERS.get(args.name)
+    if driver is None:
+        raise SystemExit(f"unknown figure {args.name!r}; "
+                         f"known: {sorted(FIG_DRIVERS)}")
+    result = driver(args)
+    print(json.dumps(result, indent=2, default=str))
+    return 0
+
+
+def cmd_traces(args) -> int:
+    mix = _build_mix(args)
+    paths = save_mix(mix, args.out)
+    for p in paths:
+        print(p)
+    return 0
+
+
+def cmd_config(args) -> int:
+    print(config_to_json(_load_cfg(args)))
+    return 0
+
+
+def cmd_report(args) -> int:
+    """Summarize a perf.csv produced by the Fig. 5 benchmark (task T3)."""
+    import csv
+    from collections import defaultdict
+
+    from repro.experiments.runner import geomean
+
+    by_design = defaultdict(list)
+    with open(args.csv) as fh:
+        for row in csv.DictReader(fh):
+            by_design[row["design"]].append(float(row["weighted_speedup"]))
+    rows = [[d, geomean(v), max(v), min(v), len(v)]
+            for d, v in by_design.items()]
+    rows.sort(key=lambda r: -r[1])
+    print(format_table(["design", "geomean", "max", "min", "mixes"], rows))
+    return 0
+
+
+def cmd_designs(args) -> int:
+    print("designs: ", ", ".join(ALL_DESIGNS))
+    print("mixes:   ", ", ".join(ALL_MIXES),
+          " (or custom 'cpu1-cpu2:gpu' specs)")
+    print("cpu workloads:", ", ".join(sorted(CPU_SPECS)))
+    print("gpu workloads:", ", ".join(sorted(GPU_SPECS)))
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Hydrogen (SC 2024) reproduction command line")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    def common(sp, mix=True):
+        sp.add_argument("--seed", type=int, default=7)
+        sp.add_argument("--scale", type=float, default=1.0,
+                        help="trace-length scale (1.0 = default runs)")
+        sp.add_argument("--config", help="system config JSON file")
+        sp.add_argument("--hbm3", action="store_true",
+                        help="use the HBM3 fast tier (Fig. 5b)")
+        sp.add_argument("--set", action="append", metavar="KEY=VALUE",
+                        help="override a config field, e.g. hybrid.assoc=8")
+        if mix:
+            sp.add_argument("--mix", default="C1",
+                            help="C1..C12 or 'gcc-mcf:backprop'")
+
+    sp = sub.add_parser("run", help="simulate one design on one mix")
+    common(sp)
+    sp.add_argument("--design", default="hydrogen",
+                    choices=list(ALL_DESIGNS))
+    sp.set_defaults(fn=cmd_run)
+
+    sp = sub.add_parser("compare", help="compare designs on one mix")
+    common(sp)
+    sp.add_argument("--designs", help="comma-separated design names")
+    sp.set_defaults(fn=cmd_compare)
+
+    sp = sub.add_parser("fig", help="regenerate a paper figure/table")
+    common(sp, mix=False)
+    sp.add_argument("name", help="table2, fig2a, fig2bcd, fig5, fig5-hbm3, "
+                                 "fig6, fig7, fig8, fig9, fig10, fig11")
+    sp.set_defaults(fn=cmd_fig)
+
+    sp = sub.add_parser("traces", help="generate and save a mix's traces")
+    common(sp)
+    sp.add_argument("--out", default="traces-out", help="output directory")
+    sp.set_defaults(fn=cmd_traces)
+
+    sp = sub.add_parser("config", help="dump the system configuration JSON")
+    common(sp, mix=False)
+    sp.set_defaults(fn=cmd_config)
+
+    sp = sub.add_parser("report", help="summarize a perf.csv (task T3)")
+    sp.add_argument("csv", nargs="?", default="perf.csv")
+    sp.set_defaults(fn=cmd_report)
+
+    sp = sub.add_parser("designs", help="list designs and workloads")
+    sp.set_defaults(fn=cmd_designs)
+    return p
+
+
+def main(argv=None) -> int:
+    args = make_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

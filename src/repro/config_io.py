@@ -1,0 +1,89 @@
+"""JSON (de)serialization of :class:`SystemConfig`.
+
+The paper's artifact drives its simulator with ``zsim.cfg`` files per
+design (task T2); this module provides the equivalent: dump a complete
+system configuration to JSON, edit it, and load it back — so experiments
+can be version-controlled and shared without writing Python.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.config import (CacheConfig, CPUConfig, EpochConfig, GPUConfig,
+                          HybridConfig, MemConfig, MemEnergy, MemTiming,
+                          SystemConfig)
+
+
+def config_to_dict(cfg: SystemConfig) -> dict:
+    """SystemConfig -> plain JSON-ready dict."""
+    return asdict(cfg)
+
+
+def config_to_json(cfg: SystemConfig, path: str | Path | None = None,
+                   indent: int = 2) -> str:
+    """Serialize; optionally also write to ``path``."""
+    text = json.dumps(config_to_dict(cfg), indent=indent, sort_keys=True)
+    if path is not None:
+        Path(path).write_text(text + "\n")
+    return text
+
+
+def _cache(d: dict) -> CacheConfig:
+    return CacheConfig(**d)
+
+
+def _mem(d: dict) -> MemConfig:
+    d = dict(d)
+    d["timing"] = MemTiming(**d["timing"])
+    d["energy"] = MemEnergy(**d["energy"])
+    return MemConfig(**d)
+
+
+def config_from_dict(d: dict) -> SystemConfig:
+    """Plain dict -> SystemConfig (validates on construction)."""
+    cpu = dict(d["cpu"])
+    cpu["l1"] = _cache(cpu["l1"])
+    cpu["l2"] = _cache(cpu["l2"])
+    gpu = dict(d["gpu"])
+    gpu["l1"] = _cache(gpu["l1"])
+    return SystemConfig(
+        cpu=CPUConfig(**cpu),
+        gpu=GPUConfig(**gpu),
+        llc=_cache(d["llc"]),
+        fast=_mem(d["fast"]),
+        slow=_mem(d["slow"]),
+        hybrid=HybridConfig(**d["hybrid"]),
+        epochs=EpochConfig(**d["epochs"]),
+        weight_cpu=d["weight_cpu"],
+        weight_gpu=d["weight_gpu"],
+    )
+
+
+def config_from_json(source: str | Path) -> SystemConfig:
+    """Load from a JSON string or a file path."""
+    text = source
+    if isinstance(source, Path) or (isinstance(source, str)
+                                    and "\n" not in source
+                                    and source.endswith(".json")):
+        text = Path(source).read_text()
+    return config_from_dict(json.loads(text))
+
+
+def apply_overrides(cfg: SystemConfig, overrides: dict) -> SystemConfig:
+    """Apply dotted-key overrides, e.g. ``{"hybrid.assoc": 8,
+    "fast.channels": 2}`` — the CLI's ``--set`` mechanism."""
+    d = config_to_dict(cfg)
+    for key, value in overrides.items():
+        node = d
+        parts = key.split(".")
+        for p in parts[:-1]:
+            if p not in node:
+                raise KeyError(f"unknown config group {p!r} in {key!r}")
+            node = node[p]
+        if parts[-1] not in node:
+            raise KeyError(f"unknown config field {key!r}")
+        node[parts[-1]] = value
+    return config_from_dict(d)

@@ -1,0 +1,17 @@
+"""Hydrogen's core contribution (paper Section IV).
+
+* :mod:`repro.core.partition` — decoupled capacity/bandwidth partitioning
+  (way<->channel mapping, consistent-hashing way selection);
+* :mod:`repro.core.tokens` — token-based slow-memory migration throttling;
+* :mod:`repro.core.tuner` — epoch-based online hill climbing;
+* :mod:`repro.core.reconfig` — cheap (lazy) reconfiguration;
+* :mod:`repro.core.hydrogen` — the policy tying them together.
+"""
+
+from repro.core.hydrogen import HydrogenPolicy
+from repro.core.partition import DecoupledMap
+from repro.core.tokens import TokenFaucet
+from repro.core.tuner import HillClimber, ParamSpace
+
+__all__ = ["HydrogenPolicy", "DecoupledMap", "TokenFaucet", "HillClimber",
+           "ParamSpace"]

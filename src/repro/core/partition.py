@@ -1,0 +1,132 @@
+"""Decoupled capacity/bandwidth partitioning of the fast memory (Section IV-A).
+
+Hydrogen associates ways to channels and partitions along both dimensions
+independently:
+
+* ``bw`` = B channels are *dedicated* to the CPU (bandwidth isolation);
+* ``cap`` = C ways per set belong to the CPU (capacity allocation), with
+  C >= B: the ways living on dedicated channels are CPU-owned, and the
+  remaining C - B CPU ways are chosen *among the shared-channel ways* by a
+  consistent-hashing rank keyed on the set index, so different sets place
+  their extra CPU ways on different shared channels and the GPU still
+  reaches the full bandwidth of all shared channels.
+
+The way -> channel mapping itself is a per-set rotation and **never
+changes** across reconfigurations; only way *ownership* moves, which is
+exactly what makes reconfiguration cheap (paper Fig. 3(c): switching bw
+from 3:1 to 2:2 touches only the blocks of the single way whose channel
+became dedicated).  Ownership changes are minimal under single-step
+``cap``/``bw`` moves thanks to the rank ordering (consistent hashing).
+"""
+
+from __future__ import annotations
+
+_MASK = (1 << 64) - 1
+
+
+def splitmix64(x: int) -> int:
+    """Deterministic 64-bit mixer (SplitMix64 finalizer)."""
+    x = (x + 0x9E3779B97F4A7C15) & _MASK
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK
+    return (x ^ (x >> 31)) & _MASK
+
+
+def way_rank(set_id: int, way: int) -> int:
+    """Consistent-hashing rank of a (set, way) pair."""
+    return splitmix64(set_id * 0x100000001B3 + way)
+
+
+class DecoupledMap:
+    """Immutable way->channel / way->owner mapping for one (cap, bw) config.
+
+    ``cap`` is expressed in ``cap_units`` (default: the associativity, i.e.
+    whole ways per set).  Low-associativity geometries (Fig. 11's A1) use a
+    finer unit so the CPU's capacity share can still be fractional: the
+    fractional part is realized by giving ceil vs floor ways to different
+    sets, selected by the consistent per-set hash — this is the decoupled
+    *set*-partitioning analog the paper discusses in Section IV-F.
+    """
+
+    def __init__(self, assoc: int, channels: int, cap: int, bw: int,
+                 cap_units: int | None = None) -> None:
+        cap_units = assoc if cap_units is None else cap_units
+        if not 0 <= bw < channels:
+            raise ValueError(f"bw={bw} must be in [0, channels)")
+        if not 0 <= cap <= cap_units:
+            raise ValueError(f"cap={cap} must be in [0, cap_units]")
+        self.assoc = assoc
+        self.channels = channels
+        self.cap = cap
+        self.bw = bw
+        self.cap_units = cap_units
+        #: CPU capacity target in (possibly fractional) ways per set.
+        self.cpu_ways_target = cap * assoc / cap_units
+        self._owner_cache: dict[int, tuple[str, ...]] = {}
+
+    # -- geometry (fixed across reconfigurations) ------------------------------
+
+    def rotation(self, set_id: int) -> int:
+        """Per-set rotation of the way->channel assignment."""
+        return splitmix64(set_id) % self.channels
+
+    def channel(self, set_id: int, way: int) -> int:
+        """Fast channel serving (set, way); independent of cap/bw."""
+        return (way + self.rotation(set_id)) % self.channels
+
+    def is_dedicated_channel(self, ch: int) -> bool:
+        """Channels [0, bw) are CPU-dedicated."""
+        return ch < self.bw
+
+    # -- ownership (the part reconfiguration changes) ---------------------------
+
+    def owners(self, set_id: int) -> tuple[str, ...]:
+        """Ownership ('cpu'/'gpu') of every way of ``set_id``."""
+        cached = self._owner_cache.get(set_id)
+        if cached is not None:
+            return cached
+        dedicated = [w for w in range(self.assoc)
+                     if self.channel(set_id, w) < self.bw]
+        shared = [w for w in range(self.assoc) if w not in dedicated]
+        target = self.cpu_ways_target
+        n_cpu = int(target)
+        frac = target - n_cpu
+        if frac > 0 and (splitmix64(set_id ^ 0xC0FFEE) / 2**64) < frac:
+            n_cpu += 1
+        extra = max(0, n_cpu - len(dedicated))
+        shared.sort(key=lambda w: way_rank(set_id, w))
+        cpu_ways = set(dedicated) | set(shared[:extra])
+        owners = tuple("cpu" if w in cpu_ways else "gpu"
+                       for w in range(self.assoc))
+        self._owner_cache[set_id] = owners
+        return owners
+
+    def owner(self, set_id: int, way: int) -> str:
+        return self.owners(set_id)[way]
+
+    def ways_of(self, set_id: int, klass: str) -> tuple[int, ...]:
+        owners = self.owners(set_id)
+        return tuple(w for w in range(self.assoc) if owners[w] == klass)
+
+    def dedicated_cpu_ways(self, set_id: int) -> tuple[int, ...]:
+        """CPU ways living on CPU-dedicated channels (the swap targets)."""
+        return tuple(w for w in range(self.assoc)
+                     if self.channel(set_id, w) < self.bw)
+
+    # -- reconfiguration distance -----------------------------------------------
+
+    def ownership_diff(self, other: "DecoupledMap", set_id: int) -> int:
+        """Number of ways of ``set_id`` whose owner differs vs ``other``.
+
+        Used by tests to verify the consistent-hashing property: a
+        single-step cap or bw move flips at most ~1 way per set on average.
+        """
+        a, b = self.owners(set_id), other.owners(set_id)
+        return sum(1 for x, y in zip(a, b) if x != y)
+
+
+def coupled_channel(set_id: int, way: int, assoc: int, channels: int) -> int:
+    """The conventional *coupled* scheme (paper Fig. 3(a)): contiguous ways
+    map to contiguous channels, so capacity and bandwidth ratios are tied.
+    Used by the WayPart baseline."""
+    return (way * channels) // assoc

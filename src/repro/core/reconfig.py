@@ -1,0 +1,51 @@
+"""Reconfiguration support (Section IV-D).
+
+Because the way->channel assignment is fixed (see
+:mod:`repro.core.partition`), applying a new (cap, bw) configuration only
+changes way *ownership*.  The controller realizes the change lazily: a
+block found in a way whose alloc bit no longer matches its class is
+invalidated (written back if dirty) after the access that touched it, off
+the critical path.  This module applies map changes, bumps the
+configuration generation the lazy mechanism keys on, and provides the
+relocation-cost estimator used by tests and the Fig. 7(b) analysis.
+"""
+
+from __future__ import annotations
+
+from repro.core.partition import DecoupledMap
+
+
+class Reconfigurator:
+    """Applies (cap, bw) changes to a Hydrogen policy."""
+
+    def __init__(self, policy) -> None:
+        self.policy = policy
+        self.reconfigurations = 0
+
+    def apply(self, cap: int, bw: int) -> bool:
+        """Switch the policy to a new map; returns whether anything changed."""
+        pol = self.policy
+        old = pol.map
+        if cap == old.cap and bw == old.bw:
+            return False
+        pol.map = DecoupledMap(old.assoc, old.channels, cap, bw,
+                               old.cap_units)
+        pol.generation += 1
+        self.reconfigurations += 1
+        if pol.ctrl is not None:
+            pol.ctrl.stats.add("reconfig.count")
+        return True
+
+
+def estimate_relocations(old: DecoupledMap, new: DecoupledMap,
+                         num_sets: int, sample: int = 512) -> float:
+    """Mean number of ways per set whose owner changes between two maps.
+
+    The consistent-hashing property (paper Fig. 3(c)) bounds this near 1.0
+    for single-step cap/bw moves; tests assert it.
+    """
+    sample = min(sample, num_sets)
+    step = max(1, num_sets // sample)
+    sets = range(0, num_sets, step)
+    total = sum(old.ownership_diff(new, s) for s in sets)
+    return total / max(1, len(list(sets)))

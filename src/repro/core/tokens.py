@@ -1,0 +1,98 @@
+"""Token-based migration throttling for the slow memory (Section IV-B).
+
+A hardware counter holds migration tokens.  Each GPU-induced migration
+consumes 1 token for the block refill and 2 when it also causes a dirty
+writeback or a flat-mode swap.  When the counter is empty further GPU
+migrations are suppressed (the demand access bypasses to the slow tier at
+64 B, avoiding the 7x traffic amplification).  A *token faucet* replenishes
+the counter every period; the replenish amount is a fraction (``frac``) of
+the GPU requests observed in the previous period, which is the "how many
+GPU-induced migrations are allowed in this period" knob the epoch tuner
+adjusts.
+
+The paper notes per-channel counters make a negligible difference
+(Section IV-B); both variants are implemented so the claim can be ablated.
+"""
+
+from __future__ import annotations
+
+#: Discrete faucet levels the hill climber walks over (fraction of observed
+#: GPU requests allowed to migrate per period).  1.0 is effectively
+#: unthrottled; the paper's fixed heuristic (Hydrogen DP+Token) uses 0.15.
+#: The floor of 5% keeps post-reconfiguration refill recovery bounded.
+TOKEN_LEVELS: tuple[float, ...] = (0.05, 0.10, 0.15, 0.25, 0.50, 1.00)
+
+#: Heuristic default from the paper (Section VI-B), set from the fast:slow
+#: bandwidth ratio.
+DEFAULT_TOKEN_FRAC = 0.15
+
+
+class TokenFaucet:
+    """Single-counter token bucket with periodic refill."""
+
+    def __init__(self, frac: float = DEFAULT_TOKEN_FRAC,
+                 initial: float = 256.0, bank_cap_mult: float = 2.0) -> None:
+        if frac < 0:
+            raise ValueError("frac must be >= 0")
+        self.frac = frac
+        self.tokens = initial
+        self.bank_cap_mult = bank_cap_mult
+        self.observed = 0
+        self.denied = 0
+        self.granted = 0
+
+    def observe(self, n: int = 1) -> None:
+        """Record GPU requests seen this period (sets next refill amount)."""
+        self.observed += n
+
+    def try_consume(self, cost: int) -> bool:
+        """Take ``cost`` tokens if available."""
+        if self.tokens >= cost:
+            self.tokens -= cost
+            self.granted += 1
+            return True
+        self.denied += 1
+        return False
+
+    def refill(self) -> float:
+        """Periodic faucet tick; returns the amount added."""
+        amount = self.frac * self.observed
+        self.observed = 0
+        cap = max(amount * self.bank_cap_mult, 1.0)
+        self.tokens = min(self.tokens + amount, cap)
+        return amount
+
+
+class PerChannelFaucets:
+    """Per-slow-channel token counters (the ablated variant)."""
+
+    def __init__(self, channels: int, frac: float = DEFAULT_TOKEN_FRAC,
+                 initial: float = 256.0) -> None:
+        self.faucets = [TokenFaucet(frac, initial / max(1, channels))
+                        for _ in range(channels)]
+
+    @property
+    def frac(self) -> float:
+        return self.faucets[0].frac
+
+    @frac.setter
+    def frac(self, value: float) -> None:
+        for f in self.faucets:
+            f.frac = value
+
+    def observe(self, channel: int, n: int = 1) -> None:
+        self.faucets[channel % len(self.faucets)].observe(n)
+
+    def try_consume(self, channel: int, cost: int) -> bool:
+        return self.faucets[channel % len(self.faucets)].try_consume(cost)
+
+    def refill(self) -> float:
+        return sum(f.refill() for f in self.faucets)
+
+    @property
+    def denied(self) -> int:
+        return sum(f.denied for f in self.faucets)
+
+    @property
+    def granted(self) -> int:
+        return sum(f.granted for f in self.faucets)

@@ -1,0 +1,160 @@
+"""Epoch-based online sampling with hill-climbing search (Section IV-C).
+
+After each sampling epoch the hardware computes the weighted IPC of the
+previous epoch.  The hill climber walks the discrete (cap, bw, tok) space
+one step at a time: it proposes a neighbour, lets the system *settle* for a
+couple of epochs (repartitioning takes effect lazily, so the first epoch
+after a move still mostly measures the old configuration), measures it,
+accepts it if the weighted IPC improved by more than a noise margin, and
+otherwise reverts.  After a full pass over all parameters and directions
+without improvement it declares convergence and holds the best
+configuration.  A new exploration *phase* (Section IV-C: every 500 M
+cycles) restarts the search to adapt to program phase changes; a watchdog
+additionally restarts it early if the held configuration's score decays
+well below the level at which it was adopted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ParamSpace:
+    """Discrete search space: parameter name -> ordered value list."""
+
+    domains: dict[str, tuple]
+    #: Optional config validator (e.g. Hydrogen's cap >= bw constraint).
+    is_valid: callable = field(default=lambda cfg: True)
+
+    def clamp_index(self, name: str, idx: int) -> int | None:
+        if 0 <= idx < len(self.domains[name]):
+            return idx
+        return None
+
+    def config(self, indices: dict[str, int]) -> dict:
+        return {k: self.domains[k][i] for k, i in indices.items()}
+
+
+class HillClimber:
+    """One-step-at-a-time hill climbing over a :class:`ParamSpace`.
+
+    Drive it by calling :meth:`on_epoch` with the score measured over the
+    last epoch under the *currently applied* configuration; it returns the
+    configuration to apply next (or None to keep the current one).
+    """
+
+    def __init__(self, space: ParamSpace, start: dict, eps: float = 0.05,
+                 warmup_epochs: int = 8, settle_epochs: int = 1,
+                 watchdog_drop: float = 0.20) -> None:
+        self.space = space
+        self.eps = eps
+        self.warmup_epochs = warmup_epochs
+        self.settle_epochs = settle_epochs
+        self.watchdog_drop = watchdog_drop
+        self.indices = {k: space.domains[k].index(start[k])
+                        for k in space.domains}
+        if not space.is_valid(space.config(self.indices)):
+            raise ValueError(f"invalid start configuration {start}")
+        self.base_score: float | None = None
+        self.converged = False
+        self.steps_taken = 0
+        self.watchdog_resets = 0
+        # Try the decreasing direction of each parameter first: for every
+        # Hydrogen knob the -1 neighbour is the gentler trial (less capacity
+        # taken from the other class, fewer dedicated channels, stronger
+        # throttle), so the expensive mis-trials come late.
+        self._moves = [(k, d) for k in space.domains for d in (-1, +1)]
+        self._move_ptr = 0
+        self._misses = 0
+        self._trial: tuple[str, int] | None = None  # (param, old_index)
+        self._skip = warmup_epochs
+        self._hold_ewma: float | None = None
+
+    # -- public --------------------------------------------------------------
+
+    @property
+    def current(self) -> dict:
+        return self.space.config(self.indices)
+
+    def on_epoch(self, score: float) -> dict | None:
+        """Feed the last epoch's score; returns the next config to apply."""
+        if self._skip > 0:
+            self._skip -= 1
+            return None
+
+        if self.converged:
+            return self._watch(score)
+
+        if self._trial is not None:
+            param, old_idx = self._trial
+            self._trial = None
+            assert self.base_score is not None
+            if score > self.base_score * (1.0 + self.eps):
+                # Accept: the trial's own measurement is the freshest base.
+                # Keep momentum on the same move next.
+                self.base_score = score
+                self._misses = 0
+                self._move_ptr = (self._move_ptr - 1) % len(self._moves)
+                return self._propose()
+            # Revert, then re-measure the base configuration before the
+            # next trial (A/B/A): comparing each trial against a *fresh*
+            # base measurement keeps run-long IPC drift (cache warming,
+            # workload ramps) from systematically crediting trials.
+            self.indices[param] = old_idx
+            self._misses += 1
+            if self._misses >= len(self._moves):
+                self._converge()
+            self._skip = self.settle_epochs
+            return self.current
+
+        # Fresh measurement of the base configuration.
+        self.base_score = score
+        return self._propose()
+
+    def reset(self) -> None:
+        """Start a new exploration phase from the held configuration."""
+        self.base_score = None
+        self.converged = False
+        self._misses = 0
+        self._move_ptr = 0
+        self._trial = None
+        self._skip = max(1, self.settle_epochs)
+        self._hold_ewma = None
+
+    # -- internals --------------------------------------------------------------
+
+    def _converge(self) -> None:
+        self.converged = True
+        self._hold_ewma = self.base_score
+
+    def _watch(self, score: float) -> dict | None:
+        """Converged: track score drift; restart if it collapses."""
+        self._hold_ewma = 0.7 * self._hold_ewma + 0.3 * score
+        if (self.base_score is not None and self.watchdog_drop > 0
+                and self._hold_ewma < self.base_score * (1 - self.watchdog_drop)):
+            self.watchdog_resets += 1
+            self.reset()
+        return None
+
+    def _propose(self) -> dict | None:
+        """Pick the next valid neighbour move; None if stuck everywhere."""
+        for _ in range(len(self._moves)):
+            param, direction = self._moves[self._move_ptr]
+            self._move_ptr = (self._move_ptr + 1) % len(self._moves)
+            old_idx = self.indices[param]
+            new_idx = self.space.clamp_index(param, old_idx + direction)
+            if new_idx is None:
+                self._misses += 1
+                continue
+            self.indices[param] = new_idx
+            if not self.space.is_valid(self.current):
+                self.indices[param] = old_idx
+                self._misses += 1
+                continue
+            self._trial = (param, old_idx)
+            self.steps_taken += 1
+            self._skip = self.settle_epochs
+            return self.current
+        self._converge()
+        return None

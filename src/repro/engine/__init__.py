@@ -1,0 +1,10 @@
+"""Discrete-event simulation engine: event queue, trace-driven CPU/GPU
+agents, the top-level :class:`Simulation`, and statistics."""
+
+from repro.engine.events import EventQueue
+from repro.engine.agents import TraceAgent
+from repro.engine.simulator import SimResult, Simulation, simulate
+from repro.engine.stats import Stats
+
+__all__ = ["EventQueue", "TraceAgent", "SimResult", "Simulation",
+           "simulate", "Stats"]

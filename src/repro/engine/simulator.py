@@ -1,0 +1,181 @@
+"""Top-level simulation: agents -> hybrid memory controller -> devices.
+
+Wires one :class:`WorkloadMix` to a :class:`HybridMemoryController` under a
+given partitioning policy, drives the epoch / faucet / phase clocks of
+Section IV-C, and reduces the run into a :class:`SimResult` with the
+per-class cycle counts the paper's evaluation (artifact task T3) reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import SystemConfig
+from repro.engine.agents import TraceAgent
+from repro.engine.events import EventQueue
+from repro.engine.stats import Stats, weighted_ipc
+from repro.hybrid.controller import HybridMemoryController
+from repro.hybrid.policies.base import PartitionPolicy
+from repro.mem.energy import EnergyBreakdown, energy_breakdown
+from repro.traces.mixes import WorkloadMix
+
+#: Hard safety cap on simulated cycles (runaway-configuration backstop).
+MAX_CYCLES_DEFAULT = 50_000_000.0
+
+
+@dataclass
+class SimResult:
+    """Reduced outcome of one simulation run."""
+
+    mix: str
+    policy: str
+    cpu_cycles: float | None
+    gpu_cycles: float | None
+    ipc_cpu: float
+    ipc_gpu: float
+    elapsed: float
+    stats: dict[str, float]
+    energy: EnergyBreakdown
+    agent_ipc: dict[str, float] = field(default_factory=dict)
+    agent_latency: dict[str, float] = field(default_factory=dict)
+    policy_state: dict = field(default_factory=dict)
+    epochs: list[dict] = field(default_factory=list)
+
+    def hit_rate(self, klass: str) -> float:
+        hits = self.stats.get(f"{klass}.fast_hits", 0.0)
+        total = hits + self.stats.get(f"{klass}.fast_misses", 0.0)
+        return hits / total if total else 0.0
+
+
+class Simulation:
+    """One co-run (or solo run) of a workload mix under a policy."""
+
+    def __init__(self, cfg: SystemConfig, policy: PartitionPolicy,
+                 mix: WorkloadMix, max_cycles: float = MAX_CYCLES_DEFAULT,
+                 record_epochs: bool = False, warmup_cpu: float = 0.25,
+                 warmup_gpu: float = 0.35) -> None:
+        self.cfg = cfg
+        self.mix = mix
+        self.max_cycles = max_cycles
+        self.record_epochs = record_epochs
+        self.eq = EventQueue()
+        self.stats = Stats()
+        self.ctrl = HybridMemoryController(cfg, self.eq, self.stats, policy)
+        self.policy = policy
+        self.agents: list[TraceAgent] = []
+        for i, tr in enumerate(mix.cpu_traces):
+            self.agents.append(TraceAgent(f"cpu{i}-{tr.name}", tr,
+                                          cfg.cpu.mlp, self.eq,
+                                          self.ctrl.access, warmup_cpu))
+        gpu_scale = cfg.gpu.execution_units / cfg.cpu.cores
+        for i, tr in enumerate(mix.gpu_traces):
+            self.agents.append(TraceAgent(f"gpu{i}-{tr.name}", tr,
+                                          cfg.gpu.mlp, self.eq,
+                                          self.ctrl.access, warmup_gpu,
+                                          instr_scale=gpu_scale))
+        if not self.agents:
+            raise ValueError("mix has no traces")
+        self._remaining = len(self.agents)
+        for agent in self.agents:
+            agent.on_done = self._agent_done
+        self._last_retired = {"cpu": 0.0, "gpu": 0.0}
+        self.epoch_log: list[dict] = []
+
+    def _agent_done(self) -> None:
+        self._remaining -= 1
+
+    # -- clocks -----------------------------------------------------------------
+
+    def _epoch_tick(self) -> None:
+        now = self.eq.now
+        ep = self.cfg.epochs.epoch_cycles
+        self.ctrl.flush_stats()  # adaptive policies read fresh counters
+        metrics = self._epoch_metrics(ep)
+        self.policy.on_epoch(now, metrics)
+        if self.record_epochs:
+            metrics["t"] = now
+            metrics.update(self.policy.describe())
+            self.epoch_log.append(metrics)
+        if not self._all_done():
+            self.eq.after(ep, self._epoch_tick)
+
+    def _epoch_metrics(self, epoch_cycles: float) -> dict:
+        ipc = {}
+        for klass in ("cpu", "gpu"):
+            retired = sum(a.retired for a in self.agents if a.klass == klass)
+            ipc[klass] = (retired - self._last_retired[klass]) / epoch_cycles
+            self._last_retired[klass] = retired
+        return {
+            "ipc_cpu": ipc["cpu"],
+            "ipc_gpu": ipc["gpu"],
+            "weighted_ipc": weighted_ipc(ipc["cpu"], ipc["gpu"],
+                                         self.cfg.weight_cpu,
+                                         self.cfg.weight_gpu),
+        }
+
+    def _faucet_tick(self) -> None:
+        self.policy.on_faucet(self.eq.now)
+        if not self._all_done():
+            self.eq.after(self.cfg.epochs.faucet_cycles, self._faucet_tick)
+
+    def _phase_tick(self) -> None:
+        self.policy.on_phase(self.eq.now)
+        if not self._all_done():
+            self.eq.after(self.cfg.epochs.phase_cycles, self._phase_tick)
+
+    def _all_done(self) -> bool:
+        return self._remaining == 0
+
+    # -- run ------------------------------------------------------------------------
+
+    def run(self) -> SimResult:
+        ep = self.cfg.epochs
+        for agent in self.agents:
+            agent.start()
+        self.eq.after(ep.epoch_cycles, self._epoch_tick)
+        self.eq.after(ep.faucet_cycles, self._faucet_tick)
+        self.eq.after(ep.phase_cycles, self._phase_tick)
+        self.eq.run(until=self.max_cycles, stop=self._all_done)
+        return self._result()
+
+    def _result(self) -> SimResult:
+        self.ctrl.flush_stats()
+        elapsed = self.eq.now
+
+        def klass_cycles(klass: str) -> float | None:
+            """Longest post-warmup measurement window of the class."""
+            times = [(a.measured_cycles if a.measured_cycles is not None
+                      else elapsed - a.warm_time)
+                     for a in self.agents if a.klass == klass]
+            return max(times) if times else None
+
+        def klass_ipc(klass: str) -> float:
+            agents = [a for a in self.agents if a.klass == klass]
+            if not agents:
+                return 0.0
+            cycles = klass_cycles(klass)
+            instr = sum(a.measured_instructions for a in agents)
+            return instr / cycles if cycles else 0.0
+
+        return SimResult(
+            mix=self.mix.name,
+            policy=self.policy.name,
+            cpu_cycles=klass_cycles("cpu"),
+            gpu_cycles=klass_cycles("gpu"),
+            ipc_cpu=klass_ipc("cpu"),
+            ipc_gpu=klass_ipc("gpu"),
+            elapsed=elapsed,
+            stats=self.stats.as_dict(),
+            energy=energy_breakdown(self.stats, self.cfg.fast, self.cfg.slow,
+                                    elapsed),
+            agent_ipc={a.name: a.ipc for a in self.agents},
+            agent_latency={a.name: a.mean_latency for a in self.agents},
+            policy_state=self.policy.describe(),
+            epochs=self.epoch_log,
+        )
+
+
+def simulate(cfg: SystemConfig, policy: PartitionPolicy, mix: WorkloadMix,
+             **kw) -> SimResult:
+    """Convenience one-shot runner."""
+    return Simulation(cfg, policy, mix, **kw).run()

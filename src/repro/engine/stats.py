@@ -1,0 +1,60 @@
+"""Simulation counters and per-epoch sampling.
+
+``Stats`` is a flat registry of named float counters with two access
+classes (``"cpu"`` / ``"gpu"``) baked into the naming convention, e.g.
+``cpu.fast_hits``.  A ``snapshot()``/``delta()`` pair gives the epoch-based
+tuner (Section IV-C) its per-epoch view without copying the registry on the
+hot path.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+CLASSES = ("cpu", "gpu")
+
+
+class Stats:
+    """Float counter registry with epoch snapshots."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = defaultdict(float)
+
+    def add(self, key: str, amount: float = 1.0) -> None:
+        self.counters[key] += amount
+
+    def get(self, key: str) -> float:
+        return self.counters.get(key, 0.0)
+
+    def snapshot(self) -> dict[str, float]:
+        return dict(self.counters)
+
+    def delta(self, since: dict[str, float]) -> dict[str, float]:
+        """Counter increments since a snapshot."""
+        out = {}
+        for key, val in self.counters.items():
+            d = val - since.get(key, 0.0)
+            if d:
+                out[key] = d
+        return out
+
+    # -- derived metrics ---------------------------------------------------
+
+    def hit_rate(self, klass: str) -> float:
+        """Fast-memory hit rate of one access class."""
+        hits = self.get(f"{klass}.fast_hits")
+        total = hits + self.get(f"{klass}.fast_misses")
+        return hits / total if total else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(self.counters)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        keys = ", ".join(f"{k}={v:.0f}" for k, v in sorted(self.counters.items()))
+        return f"Stats({keys})"
+
+
+def weighted_ipc(ipc_cpu: float, ipc_gpu: float,
+                 w_cpu: float, w_gpu: float) -> float:
+    """The paper's optimization objective: user-weighted throughput."""
+    return w_cpu * ipc_cpu + w_gpu * ipc_gpu

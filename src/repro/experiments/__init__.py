@@ -1,0 +1,8 @@
+"""Experiment harness: the design registry, runners with the artifact's
+weighted-speedup math, per-figure drivers, and report rendering."""
+
+from repro.experiments.designs import ALL_DESIGNS, FIG5_DESIGNS, make_policy
+from repro.experiments.runner import compare_designs, run_mix, weighted_speedup
+
+__all__ = ["ALL_DESIGNS", "FIG5_DESIGNS", "make_policy", "compare_designs",
+           "run_mix", "weighted_speedup"]

@@ -1,0 +1,322 @@
+"""One driver per table/figure of the paper's evaluation (Section VI).
+
+Every function regenerates the corresponding exhibit's rows/series from
+fresh simulations and returns plain dicts; the benchmarks print them via
+:mod:`repro.experiments.report`.  Reference-count scale is controlled by
+the ``scale`` argument (and ``$REPRO_SCALE`` through the benchmarks).
+
+Naming: ``fig2_motivation`` etc. match the per-experiment index in
+DESIGN.md section 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.config import MB, SystemConfig, default_system, hbm3
+from repro.core.hydrogen import HydrogenPolicy
+from repro.engine.simulator import simulate
+from repro.experiments.designs import FIG5_DESIGNS
+from repro.experiments.runner import (ComboResult, compare_designs,
+                                      corun_slowdowns, geomean, run_mix,
+                                      weighted_speedup)
+from repro.traces.base import characterize
+from repro.traces.mixes import ALL_MIXES, build_mix, cpu_only, gpu_only
+
+#: Representative subset used by the geomean-style figures when a full
+#: 12-combination sweep would be disproportionate (documented in
+#: EXPERIMENTS.md; pass ``mixes=ALL_MIXES`` for the full set).
+DEFAULT_SUBSET = ("C1", "C3", "C5", "C11")
+
+
+def table2_workloads(*, cpu_refs: int = 10_000, gpu_refs: int = 40_000,
+                     seed: int = 7) -> list[dict]:
+    """Table II: generate every combination and characterize its traces."""
+    rows = []
+    for name in ALL_MIXES:
+        mix = build_mix(name, cpu_refs=cpu_refs, gpu_refs=gpu_refs, seed=seed)
+        cpu_names = sorted({t.name for t in mix.cpu_traces})
+        g = characterize(mix.gpu_traces[0])
+        rows.append({
+            "mix": name,
+            "cpu_workloads": "-".join(cpu_names),
+            "gpu_workload": mix.gpu_traces[0].name,
+            "footprint_mb": mix.footprint / MB,
+            "gpu_refs_per_block": round(g["refs_per_block"], 2),
+            "gpu_write_frac": round(g["write_frac"], 3),
+        })
+    return rows
+
+
+def fig2_slowdowns(mixes=ALL_MIXES, *, scale: float = 1.0,
+                   cfg: SystemConfig | None = None, seed: int = 7) -> list[dict]:
+    """Fig. 2(a): co-run slowdown of CPU and GPU vs running alone."""
+    cfg = cfg or default_system()
+    rows = []
+    for name in mixes:
+        mix = build_mix(name, scale=scale, seed=seed)
+        sd = corun_slowdowns(mix, cfg)
+        rows.append({"mix": name,
+                     "cpu_slowdown": sd["cpu_slowdown"],
+                     "gpu_slowdown": sd["gpu_slowdown"]})
+    return rows
+
+
+def fig2_sensitivity(mix_name: str = "C1", *, scale: float = 1.0,
+                     seed: int = 7) -> dict[str, list[dict]]:
+    """Fig. 2(b-d): C1 performance vs fast BW, fast capacity, slow BW.
+
+    Following the paper, CPU and GPU sensitivities are measured in the
+    shared (co-run) system; each point is normalized to the full-resource
+    configuration.
+    """
+    base = default_system()
+    mix = build_mix(mix_name, scale=scale, seed=seed)
+
+    def run(cfg):
+        return run_mix("baseline", mix, cfg)
+
+    ref = run(base)
+    out: dict[str, list[dict]] = {"fast_bw": [], "fast_cap": [], "slow_bw": []}
+
+    for ch in (4, 2, 1):
+        cfg = base.with_fast(replace(base.fast, channels=ch))
+        r = run(cfg)
+        out["fast_bw"].append({
+            "fast_channels": ch,
+            "cpu_perf": ref.cpu_cycles / r.cpu_cycles,
+            "gpu_perf": ref.gpu_cycles / r.gpu_cycles,
+        })
+    for frac in (1.0, 0.5, 0.25, 0.125):
+        cfg = base.with_fast(replace(base.fast,
+                                     capacity=int(base.fast.capacity * frac)))
+        r = run(cfg)
+        out["fast_cap"].append({
+            "capacity_frac": frac,
+            "cpu_perf": ref.cpu_cycles / r.cpu_cycles,
+            "gpu_perf": ref.gpu_cycles / r.gpu_cycles,
+            "cpu_hit": r.hit_rate("cpu"),
+            "gpu_hit": r.hit_rate("gpu"),
+        })
+    for ch in (4, 2, 1):
+        cfg = replace(base, slow=replace(base.slow, channels=ch))
+        r = run(cfg)
+        out["slow_bw"].append({
+            "slow_channels": ch,
+            "cpu_perf": ref.cpu_cycles / r.cpu_cycles,
+            "gpu_perf": ref.gpu_cycles / r.gpu_cycles,
+        })
+    return out
+
+
+def fig5_overall(mixes=ALL_MIXES, *, fast: str = "hbm2e", scale: float = 1.0,
+                 designs=FIG5_DESIGNS, seed: int = 7
+                 ) -> dict[str, dict[str, ComboResult]]:
+    """Fig. 5: weighted speedups of every design on every mix.
+
+    Returns ``{design: {mix: ComboResult}}`` (the perf.csv layout).
+    """
+    cfg = default_system()
+    if fast == "hbm3":
+        cfg = cfg.with_fast(hbm3())
+    results: dict[str, dict[str, ComboResult]] = {d: {} for d in
+                                                  ("baseline",) + tuple(designs)}
+    for name in mixes:
+        mix = build_mix(name, scale=scale, seed=seed)
+        per_mix = compare_designs(mix, tuple(designs), cfg)
+        for design, combo in per_mix.items():
+            results[design][name] = combo
+    return results
+
+
+def fig5_summary(results: dict[str, dict[str, ComboResult]]) -> list[dict]:
+    """Geomean/max rows of a fig5_overall result (the text in Section VI-A)."""
+    rows = []
+    for design, by_mix in results.items():
+        ws = [c.weighted_speedup for c in by_mix.values()]
+        rows.append({"design": design,
+                     "geomean_speedup": geomean(ws),
+                     "max_speedup": max(ws) if ws else 0.0,
+                     "min_speedup": min(ws) if ws else 0.0})
+    return rows
+
+
+def fig6_energy(mixes=ALL_MIXES, *, scale: float = 1.0,
+                seed: int = 7) -> list[dict]:
+    """Fig. 6: memory energy of HAShCache / ProFess / Hydrogen, normalized
+    to HAShCache per the paper."""
+    cfg = default_system()
+    rows = []
+    for name in mixes:
+        mix = build_mix(name, scale=scale, seed=seed)
+        energies = {}
+        for design in ("hashcache", "profess", "hydrogen"):
+            r = run_mix(design, mix, cfg)
+            energies[design] = r.energy.total_nj
+        ref = energies["hashcache"]
+        rows.append({"mix": name,
+                     **{d: e / ref for d, e in energies.items()}})
+    return rows
+
+
+def fig7_overheads(mixes=DEFAULT_SUBSET, *, scale: float = 1.0,
+                   seed: int = 7) -> dict[str, list[dict]]:
+    """Fig. 7: (a) fast-memory swap methods, (b) reconfiguration cost.
+
+    Geomean weighted speedups over ``mixes``, each normalized to the
+    non-partitioned baseline of the same mix.
+    """
+    cfg = default_system()
+    swap_variants = {
+        "ideal": dict(swap_mode="ideal"),
+        "hydrogen": dict(swap_mode="on"),
+        "prob": dict(swap_mode="prob"),
+        "noswap": dict(swap_mode="off"),
+    }
+    recfg_variants = {
+        "ideal-reconfig": dict(ideal_reconfig=True),
+        "hydrogen": dict(),
+    }
+
+    def sweep(variants):
+        acc = {v: [] for v in variants}
+        for name in mixes:
+            mix = build_mix(name, scale=scale, seed=seed)
+            base = run_mix("baseline", mix, cfg)
+            for vname, kw in variants.items():
+                pol = HydrogenPolicy.full(**kw)
+                res = simulate(cfg, pol, mix)
+                combo = weighted_speedup(res, base, cfg.weight_cpu,
+                                         cfg.weight_gpu)
+                acc[vname].append(combo.weighted_speedup)
+        return [{"variant": v, "geomean_speedup": geomean(ws)}
+                for v, ws in acc.items()]
+
+    return {"swap": sweep(swap_variants), "reconfig": sweep(recfg_variants)}
+
+
+def fig8_search(mix_name: str = "C5", *, scale: float = 1.0, seed: int = 7,
+                caps=(1, 2, 3, 4), bws=(0, 1, 2), toks=(0.05, 0.15, 0.5)
+                ) -> dict:
+    """Fig. 8: exhaustive (cap, bw, tok) search vs Hydrogen's online choice
+    on C5.  Returns the grid, the best/median static configs, and the
+    online result, normalized to the online result per the paper."""
+    cfg = default_system()
+    mix = build_mix(mix_name, scale=scale, seed=seed)
+    base = run_mix("baseline", mix, cfg)
+
+    grid = []
+    for cap in caps:
+        for bw in bws:
+            if cap < -(-bw * 4 // 4):
+                continue
+            for tok in toks:
+                pol = HydrogenPolicy(cap=cap, bw=bw, tok_frac=tok,
+                                     enable_tokens=True, enable_tuner=False)
+                res = simulate(cfg, pol, mix)
+                combo = weighted_speedup(res, base, cfg.weight_cpu,
+                                         cfg.weight_gpu)
+                grid.append({"cap": cap, "bw": bw, "tok": tok,
+                             "weighted_speedup": combo.weighted_speedup})
+
+    online = weighted_speedup(simulate(cfg, HydrogenPolicy.full(), mix),
+                              base, cfg.weight_cpu, cfg.weight_gpu)
+    speeds = sorted(g["weighted_speedup"] for g in grid)
+    best = speeds[-1]
+    median = speeds[len(speeds) // 2]
+    return {
+        "grid": grid,
+        "online_speedup": online.weighted_speedup,
+        "best_static": best,
+        "median_static": median,
+        "online_vs_best": online.weighted_speedup / best,
+        "best_vs_median": best / median,
+    }
+
+
+def fig9_epochs(mixes=DEFAULT_SUBSET, *, scale: float = 1.0, seed: int = 7,
+                epoch_lengths=(2_000.0, 10_000.0, 50_000.0, 200_000.0),
+                phase_lengths=(50_000.0, 200_000.0, 400_000.0, 1_000_000.0)
+                ) -> dict[str, list[dict]]:
+    """Fig. 9: sensitivity to sampling-epoch and phase lengths."""
+    base_cfg = default_system()
+
+    def sweep(param: str, values) -> list[dict]:
+        out = []
+        for v in values:
+            epochs = replace(base_cfg.epochs, **{param: v})
+            cfg = replace(base_cfg, epochs=epochs)
+            speeds = []
+            for name in mixes:
+                mix = build_mix(name, scale=scale, seed=seed)
+                per = compare_designs(mix, ("hydrogen",), cfg)
+                speeds.append(per["hydrogen"].weighted_speedup)
+            out.append({param: v, "geomean_speedup": geomean(speeds)})
+        return out
+
+    return {"epoch": sweep("epoch_cycles", epoch_lengths),
+            "phase": sweep("phase_cycles", phase_lengths)}
+
+
+def fig10_weights_cores(mix_name: str = "C6", *, scale: float = 1.0,
+                        seed: int = 7,
+                        weight_ratios=(1, 4, 12, 32),
+                        core_counts=(4, 8, 16)) -> dict[str, list[dict]]:
+    """Fig. 10: (a) CPU:GPU IPC weight sweep on C6 (slowdowns vs solo);
+    (b) CPU core-count scaling (weighted speedup vs baseline)."""
+    out: dict[str, list[dict]] = {"weights": [], "cores": []}
+    base_cfg = default_system()
+    mix = build_mix(mix_name, scale=scale, seed=seed)
+    solo_cpu = run_mix("baseline", cpu_only(mix), base_cfg)
+    solo_gpu = run_mix("baseline", gpu_only(mix), base_cfg)
+
+    for w in weight_ratios:
+        cfg = replace(base_cfg, weight_cpu=float(w), weight_gpu=1.0)
+        res = simulate(cfg, HydrogenPolicy.full(), mix)
+        out["weights"].append({
+            "weight_ratio": w,
+            "cpu_slowdown": res.cpu_cycles / solo_cpu.cpu_cycles,
+            "gpu_slowdown": res.gpu_cycles / solo_gpu.gpu_cycles,
+        })
+
+    for cores in core_counts:
+        copies = max(1, cores // 4)
+        cfg = replace(base_cfg, cpu=replace(base_cfg.cpu, cores=cores),
+                      weight_cpu=float(12 * copies / 2), weight_gpu=1.0)
+        cmix = build_mix(mix_name, scale=scale, seed=seed, cpu_copies=copies)
+        per = compare_designs(cmix, ("profess", "hydrogen"), cfg)
+        out["cores"].append({
+            "cpu_cores": cores,
+            "hydrogen_speedup": per["hydrogen"].weighted_speedup,
+            "profess_speedup": per["profess"].weighted_speedup,
+        })
+    return out
+
+
+def fig11_geometry(mixes=("C1", "C5"), *, scale: float = 1.0, seed: int = 7,
+                   assocs=(1, 4, 16), blocks=(64, 256, 2048)
+                   ) -> list[dict]:
+    """Fig. 11: associativity (A) x block size (B) sweep.
+
+    Each cell reports HAShCache / ProFess / Hydrogen weighted speedups
+    normalized to the non-partitioned baseline of the *same* geometry.
+    HAShCache runs on the sweep geometry (chaining only at A=1) per the
+    paper's methodology.
+    """
+    rows = []
+    base_cfg = default_system()
+    for a in assocs:
+        for b in blocks:
+            cfg = base_cfg.with_geometry(assoc=a, block=b)
+            speeds: dict[str, list] = {"hashcache": [], "profess": [],
+                                       "hydrogen": []}
+            for name in mixes:
+                mix = build_mix(name, scale=scale, seed=seed)
+                per = compare_designs(
+                    mix, ("hashcache", "profess", "hydrogen"), cfg,
+                    native_geometry=False)
+                for d in speeds:
+                    speeds[d].append(per[d].weighted_speedup)
+            rows.append({"assoc": a, "block": b,
+                         **{d: geomean(v) for d, v in speeds.items()}})
+    return rows

@@ -1,0 +1,71 @@
+"""Result rendering: text tables and the artifact-style ``perf.csv``.
+
+The paper's artifact task T3 extracts per-design, per-combination CPU/GPU
+cycles into a CSV whose weighted speedups are the bars of Fig. 5; these
+helpers produce the same rows for every experiment driver.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Iterable, Mapping, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 floatfmt: str = "{:.3f}") -> str:
+    """Plain-text table with right-aligned numeric columns."""
+    str_rows = []
+    for row in rows:
+        str_rows.append([floatfmt.format(c) if isinstance(c, float) else str(c)
+                         for c in row])
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = ["  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) if i else cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def to_csv(headers: Sequence[str], rows: Iterable[Sequence],
+           path: str | None = None) -> str:
+    """Render rows as CSV; optionally also write to ``path``."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(headers)
+    for row in rows:
+        writer.writerow(row)
+    text = buf.getvalue()
+    if path:
+        with open(path, "w", newline="") as fh:
+            fh.write(text)
+    return text
+
+
+def perf_csv_rows(results: Mapping[str, Mapping[str, object]]) -> list[list]:
+    """Artifact-style perf rows: design x mix -> cycles and speedups.
+
+    ``results[design][mix]`` must be a
+    :class:`repro.experiments.runner.ComboResult`.
+    """
+    rows = []
+    for design, by_mix in results.items():
+        for mix, combo in by_mix.items():
+            res = combo.result
+            rows.append([
+                design, mix,
+                round(res.cpu_cycles or 0.0, 1),
+                round(res.gpu_cycles or 0.0, 1),
+                round(combo.speedup_cpu, 4),
+                round(combo.speedup_gpu, 4),
+                round(combo.weighted_speedup, 4),
+            ])
+    return rows
+
+
+PERF_HEADERS = ["design", "mix", "cpu_cycles", "gpu_cycles",
+                "cpu_speedup", "gpu_speedup", "weighted_speedup"]

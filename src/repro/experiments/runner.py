@@ -1,0 +1,113 @@
+"""Experiment runner: solo runs, co-runs, and the paper's speedup math.
+
+The paper's artifact (task T3) computes, per combination and design,
+per-class cycle counts, normalizes them to the non-partitioned baseline,
+and reports the weighted sum as the design's speedup — these helpers do the
+same reduction.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass
+
+from repro.config import SystemConfig, default_system
+from repro.engine.simulator import SimResult, simulate
+from repro.experiments.designs import design_config, make_policy
+from repro.hybrid.policies.base import PartitionPolicy
+from repro.traces.mixes import WorkloadMix, build_mix, cpu_only, gpu_only
+
+
+def env_scale(default: float = 1.0) -> float:
+    """Global run-length scale, overridable via $REPRO_SCALE."""
+    return float(os.environ.get("REPRO_SCALE", default))
+
+
+@dataclass(frozen=True)
+class ComboResult:
+    """A design's outcome on one mix, normalized to the baseline run."""
+
+    mix: str
+    design: str
+    result: SimResult
+    speedup_cpu: float
+    speedup_gpu: float
+    weighted_speedup: float
+
+
+def run_mix(design: str | PartitionPolicy, mix: WorkloadMix,
+            cfg: SystemConfig | None = None, *,
+            native_geometry: bool = True, **sim_kw) -> SimResult:
+    """Run one design (by registry name or as a policy instance) on a mix."""
+    cfg = cfg or default_system()
+    if isinstance(design, str):
+        policy = make_policy(design)
+        cfg = design_config(design, cfg, native_geometry)
+    else:
+        policy = design
+    return simulate(cfg, policy, mix, **sim_kw)
+
+
+def weighted_speedup(res: SimResult, base: SimResult,
+                     w_cpu: float, w_gpu: float) -> ComboResult:
+    """Per-class cycle speedups vs baseline, weighted per artifact T3."""
+    s_cpu = (base.cpu_cycles / res.cpu_cycles
+             if res.cpu_cycles and base.cpu_cycles else 1.0)
+    s_gpu = (base.gpu_cycles / res.gpu_cycles
+             if res.gpu_cycles and base.gpu_cycles else 1.0)
+    total_w = w_cpu + w_gpu
+    ws = (w_cpu * s_cpu + w_gpu * s_gpu) / total_w
+    return ComboResult(res.mix, res.policy, res, s_cpu, s_gpu, ws)
+
+
+def compare_designs(mix: WorkloadMix, designs: tuple[str, ...],
+                    cfg: SystemConfig | None = None,
+                    **sim_kw) -> dict[str, ComboResult]:
+    """Run the baseline plus ``designs`` on one mix; normalize to baseline."""
+    cfg = cfg or default_system()
+    base = run_mix("baseline", mix, cfg, **sim_kw)
+    out: dict[str, ComboResult] = {
+        "baseline": weighted_speedup(base, base, cfg.weight_cpu, cfg.weight_gpu)
+    }
+    for name in designs:
+        res = run_mix(name, mix, cfg, **sim_kw)
+        out[name] = weighted_speedup(res, base, cfg.weight_cpu, cfg.weight_gpu)
+    return out
+
+
+def corun_slowdowns(mix: WorkloadMix, cfg: SystemConfig | None = None,
+                    design="baseline", **sim_kw) -> dict[str, float]:
+    """Fig. 2(a): per-class slowdown of co-running vs running alone.
+
+    ``design`` is a registry name or a zero-argument policy factory (each of
+    the three runs needs a fresh policy instance).
+    """
+    cfg = cfg or default_system()
+
+    def fresh_policy():
+        return make_policy(design) if isinstance(design, str) else design()
+
+    solo_cpu = run_mix(fresh_policy(), cpu_only(mix), cfg, **sim_kw)
+    solo_gpu = run_mix(fresh_policy(), gpu_only(mix), cfg, **sim_kw)
+    corun = run_mix(fresh_policy(), mix, cfg, **sim_kw)
+    return {
+        "cpu_slowdown": corun.cpu_cycles / solo_cpu.cpu_cycles,
+        "gpu_slowdown": corun.gpu_cycles / solo_gpu.gpu_cycles,
+        "corun_cpu_cycles": corun.cpu_cycles,
+        "corun_gpu_cycles": corun.gpu_cycles,
+    }
+
+
+def geomean(values) -> float:
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def build_scaled_mix(name: str, scale: float | None = None,
+                     **kw) -> WorkloadMix:
+    """Mix with the global $REPRO_SCALE applied to reference counts."""
+    return build_mix(name, scale=scale if scale is not None else env_scale(),
+                     **kw)

@@ -1,0 +1,9 @@
+"""Hybrid memory substrate: the two-tier controller (paper Fig. 4), the
+set-associative fast-tier organization, the remap table/cache, and the
+baseline partitioning policies the paper compares against."""
+
+from repro.hybrid.controller import HybridMemoryController
+from repro.hybrid.setassoc import FastStore
+from repro.hybrid.remap import RemapCache
+
+__all__ = ["HybridMemoryController", "FastStore", "RemapCache"]

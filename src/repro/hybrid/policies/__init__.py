@@ -1,0 +1,16 @@
+"""Partitioning policies: the pluggable decision layer of the controller.
+
+``PartitionPolicy`` is the interface; the paper's comparison designs are
+``NoPartitionPolicy`` (baseline), ``WayPartPolicy``, ``HAShCachePolicy``,
+``ProfessPolicy`` and ``SetPartitionPolicy`` (the §IV-F variant);
+Hydrogen itself lives in :mod:`repro.core.hydrogen`."""
+
+from repro.hybrid.policies.base import PartitionPolicy
+from repro.hybrid.policies.hashcache import HAShCachePolicy
+from repro.hybrid.policies.nopart import NoPartitionPolicy
+from repro.hybrid.policies.profess import ProfessPolicy
+from repro.hybrid.policies.setpart import SetPartitionPolicy
+from repro.hybrid.policies.waypart import WayPartPolicy
+
+__all__ = ["PartitionPolicy", "NoPartitionPolicy", "WayPartPolicy",
+           "HAShCachePolicy", "ProfessPolicy", "SetPartitionPolicy"]

@@ -1,0 +1,17 @@
+"""The non-partitioned baseline (paper Section V, "baseline").
+
+The fast tier is one shared 4-way cache: every class may use every way,
+every miss migrates its block (classic DRAM-cache behaviour), and ways of
+consecutive sets are spread over all channels.  All of Fig. 5's speedups
+are normalized to this design.
+"""
+
+from __future__ import annotations
+
+from repro.hybrid.policies.base import PartitionPolicy
+
+
+class NoPartitionPolicy(PartitionPolicy):
+    """Fully shared hybrid memory, always-migrate, LRU."""
+
+    name = "baseline"

@@ -1,0 +1,64 @@
+"""Decoupled set-partitioning (paper Section IV-F, "Discussion").
+
+The alternative to Hydrogen's way-partitioning: cache *sets* are statically
+interleaved across fast channels; the sets living on ``bw`` dedicated
+channels hold CPU data, the rest are split between CPU and GPU by page
+coloring (here: a consistent hash of the set index against the ``cap``
+fraction).  Each set is wholly owned by one class, so all its ways follow.
+
+The paper notes this variant "inherits the typical drawbacks such as high
+repartitioning overheads and OS-level modifications"; it is provided for
+the ablation comparison against the way-partitioned DecoupledMap.
+"""
+
+from __future__ import annotations
+
+from repro.core.partition import splitmix64
+from repro.hybrid.policies.base import PartitionPolicy
+
+
+class SetPartitionPolicy(PartitionPolicy):
+    """Decoupled set-partitioning with consistent-hash set coloring."""
+
+    name = "setpart"
+
+    def __init__(self, cap_frac: float = 0.75, bw: int = 1) -> None:
+        super().__init__()
+        if not 0.0 <= cap_frac <= 1.0:
+            raise ValueError("cap_frac must be in [0, 1]")
+        self.cap_frac = cap_frac
+        self._bw_req = bw
+        self.bw = bw
+
+    def attach(self, ctrl) -> None:
+        super().attach(ctrl)
+        self.bw = min(self._bw_req, ctrl.fast.cfg.channels - 1)
+
+    # -- geometry ---------------------------------------------------------------
+
+    def set_channel(self, set_id: int) -> int:
+        """Sets are statically interleaved across all channels."""
+        return set_id % self.ctrl.fast.cfg.channels
+
+    def set_owner(self, set_id: int) -> str:
+        if self.set_channel(set_id) < self.bw:
+            return "cpu"  # dedicated-channel sets
+        # Remaining CPU share among shared-channel sets, chosen by a
+        # consistent hash so repartitioning moves few sets.
+        channels = self.ctrl.fast.cfg.channels
+        shared_frac = (self.cap_frac * channels - self.bw) / (channels - self.bw)
+        shared_frac = min(1.0, max(0.0, shared_frac))
+        color = splitmix64(set_id ^ 0x5E7C0108) / 2**64
+        return "cpu" if color < shared_frac else "gpu"
+
+    def way_channel(self, set_id: int, way: int) -> int:
+        return self.set_channel(set_id)
+
+    def way_owner(self, set_id: int, way: int) -> str:
+        return self.set_owner(set_id)
+
+    def eligible_ways(self, set_id: int, klass: str) -> tuple[int, ...]:
+        return self._all_ways if self.set_owner(set_id) == klass else ()
+
+    def describe(self) -> dict:
+        return {"policy": self.name, "cap_frac": self.cap_frac, "bw": self.bw}

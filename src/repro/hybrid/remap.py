@@ -1,0 +1,60 @@
+"""Remap table and on-chip SRAM remap cache (Section III-A).
+
+The remap table — the per-set tag/alloc metadata — physically lives in the
+fast memory, so probing it on an access whose set metadata is not cached in
+the on-chip SRAM remap cache costs a 64 B fast-memory read.  This module
+models only the *timing/traffic* side; the metadata content itself is held
+by :class:`repro.hybrid.setassoc.FastStore` (a hardware remap-table entry
+and our store row are the same information).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class RemapCache:
+    """LRU cache of per-set remap-table entries."""
+
+    def __init__(self, entries: int) -> None:
+        if entries < 1:
+            raise ValueError("remap cache needs at least one entry")
+        self.capacity = entries
+        self._lru: OrderedDict[int, None] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def probe(self, set_id: int) -> bool:
+        """Look up a set's metadata; inserts on miss.  Returns hit?"""
+        lru = self._lru
+        if set_id in lru:
+            lru.move_to_end(set_id)
+            self.hits += 1
+            return True
+        self.misses += 1
+        lru[set_id] = None
+        if len(lru) > self.capacity:
+            lru.popitem(last=False)
+        return False
+
+    def invalidate_all(self) -> None:
+        """Flush (e.g. after an eager, non-lazy reconfiguration)."""
+        self._lru.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+
+def metadata_channel(set_id: int, channels: int) -> int:
+    """Fast-memory channel holding a set's remap-table entry.
+
+    The table is interleaved across all fast channels; remap fills touch
+    every channel regardless of partitioning, which mildly perturbs
+    isolation exactly as a real design would.
+    """
+    return set_id % channels

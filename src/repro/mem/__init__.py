@@ -1,0 +1,8 @@
+"""Memory-device substrate: HBM/DDR channel timing models (banks, row
+buffers, class-fair arbitration, queueing) and energy accounting."""
+
+from repro.mem.channel import Channel
+from repro.mem.device import MemoryDevice
+from repro.mem.energy import EnergyBreakdown, energy_breakdown
+
+__all__ = ["Channel", "MemoryDevice", "EnergyBreakdown", "energy_breakdown"]

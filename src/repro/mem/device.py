@@ -1,0 +1,61 @@
+"""A memory tier: a bank of identical (super)channels plus counters."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.config import MemConfig
+from repro.engine.events import EventQueue
+from repro.engine.stats import Stats
+from repro.mem.channel import Channel
+
+
+class MemoryDevice:
+    """One tier ("fast" or "slow") of the hybrid memory."""
+
+    def __init__(self, cfg: MemConfig, eq: EventQueue, stats: Stats,
+                 prefix: str) -> None:
+        self.cfg = cfg
+        self.eq = eq
+        self.stats = stats
+        self.prefix = prefix
+        self.channels = [Channel(i, cfg, eq, stats, prefix)
+                         for i in range(cfg.channels)]
+
+    def submit(self, channel: int, klass: str, nbytes: int, is_write: bool,
+               addr: int, on_complete: Callable[[], None] | None = None,
+               extra: float = 0.0) -> None:
+        """Issue an ``nbytes`` transfer on ``channel``.
+
+        ``on_complete()`` fires when the last beat plus access latency plus
+        ``extra`` pipeline latency has elapsed; pass ``None`` for
+        fire-and-forget background traffic (refills, writebacks, swaps)
+        that only needs to occupy the bus.
+        """
+        self.channels[channel % len(self.channels)].submit(
+            klass, nbytes, is_write, addr, on_complete, extra)
+
+    def flush_stats(self) -> None:
+        """Flush all channels' local counters into the shared registry."""
+        for ch in self.channels:
+            ch.flush_stats()
+
+    def set_priority_class(self, klass: str | None) -> None:
+        """Serve queued requests of ``klass`` first (HAShCache's CPU priority)."""
+        for ch in self.channels:
+            ch.priority_class = klass
+
+    # -- accounting ---------------------------------------------------------
+
+    @property
+    def total_busy_cycles(self) -> float:
+        return sum(ch.busy_cycles for ch in self.channels)
+
+    def utilization(self, elapsed: float) -> float:
+        """Mean data-bus utilization over ``elapsed`` cycles."""
+        if elapsed <= 0:
+            return 0.0
+        return self.total_busy_cycles / (elapsed * len(self.channels))
+
+    def queue_depth(self) -> int:
+        return sum(ch.queue_depth for ch in self.channels)

@@ -1,0 +1,42 @@
+"""Bank and row-buffer state tracking for one memory channel.
+
+The paper's Table I gives per-technology RCD-CAS-RP timings; the row-buffer
+model here turns an address stream into ``hit``/``closed``/``conflict`` row
+states so that streaming workloads (GPU) see mostly row hits while random
+workloads (CPU pointer chasing) pay activation latency and energy — the
+asymmetry behind Insights 1 and 2 (Section III-B).
+"""
+
+from __future__ import annotations
+
+from repro.config import MemTiming
+
+
+class BankState:
+    """Open-page row-buffer state for the banks of one channel."""
+
+    __slots__ = ("timing", "_open_rows")
+
+    def __init__(self, timing: MemTiming) -> None:
+        self.timing = timing
+        # bank index -> open row id (global row number), None means precharged
+        self._open_rows: list[int | None] = [None] * timing.banks
+
+    def locate(self, addr: int) -> tuple[int, int]:
+        """Address -> (bank, row) with row-interleaved bank mapping."""
+        row = addr // self.timing.row_bytes
+        bank = row % self.timing.banks
+        return bank, row
+
+    def access(self, addr: int) -> str:
+        """Record an access; return the row state it experienced."""
+        bank, row = self.locate(addr)
+        cur = self._open_rows[bank]
+        if cur == row:
+            return "hit"
+        self._open_rows[bank] = row
+        return "closed" if cur is None else "conflict"
+
+    def reset(self) -> None:
+        for i in range(len(self._open_rows)):
+            self._open_rows[i] = None

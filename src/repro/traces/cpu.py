@@ -1,0 +1,62 @@
+"""SPEC CPU2017-like workload models (paper Table II, CPU side).
+
+Parameters are calibrated from the public characterization literature of the
+memory-intensive SPEC CPU2017 suite (pointer-chasing ``mcf``/``omnetpp``,
+streaming ``lbm``/``roms``/``bwaves``/``fotonik3d``, mixed ``gcc``/``xz``,
+table-driven ``deepsjeng``, stencil ``cactusBSSN``) and then scaled to this
+reproduction's memory sizes (DESIGN.md section 6; the fast tier is 4 MB, so
+per-copy hot working sets are hundreds of kB and the eight CPU copies
+together roughly fill the fast tier — the same capacity pressure the
+paper's GB-scale setup has).  What matters for the paper's results is the
+CPU-side profile: moderate bandwidth demand, strong temporal locality with
+hot sets that *just* fit when the CPU receives enough fast-memory capacity,
+and latency sensitivity.
+"""
+
+from __future__ import annotations
+
+from repro.config import KB, MB
+from repro.traces.base import TraceSpec
+
+#: Catalog of CPU workloads.  Footprints are per *copy* (the paper runs two
+#: rate-mode copies of each workload on the 8 cores).
+CPU_SPECS: dict[str, TraceSpec] = {
+    "gcc": TraceSpec("gcc", "cpu", footprint=2 * MB, stream_frac=0.18,
+                     hot_frac=0.79, hot_set_frac=0.20, write_frac=0.25,
+                     gap_mean=18.0, zipf_a=1.20),
+    "mcf": TraceSpec("mcf", "cpu", footprint=3 * MB, stream_frac=0.05,
+                     hot_frac=0.91, hot_set_frac=0.15, write_frac=0.18,
+                     gap_mean=12.0, zipf_a=1.18),
+    "lbm": TraceSpec("lbm", "cpu", footprint=3 * MB, stream_frac=0.85,
+                     hot_frac=0.08, hot_set_frac=0.05, write_frac=0.45,
+                     gap_mean=14.0, n_streams=8),
+    "roms": TraceSpec("roms", "cpu", footprint=2560 * KB, stream_frac=0.70,
+                      hot_frac=0.20, hot_set_frac=0.08, write_frac=0.30,
+                      gap_mean=16.0, n_streams=6),
+    "omnetpp": TraceSpec("omnetpp", "cpu", footprint=2 * MB, stream_frac=0.08,
+                         hot_frac=0.88, hot_set_frac=0.18, write_frac=0.28,
+                         gap_mean=16.0, zipf_a=1.20),
+    "xz": TraceSpec("xz", "cpu", footprint=2 * MB, stream_frac=0.30,
+                    hot_frac=0.66, hot_set_frac=0.15, write_frac=0.30,
+                    gap_mean=20.0, zipf_a=1.22),
+    "deepsjeng": TraceSpec("deepsjeng", "cpu", footprint=1536 * KB,
+                           stream_frac=0.08, hot_frac=0.88, hot_set_frac=0.25,
+                           write_frac=0.22, gap_mean=20.0, zipf_a=1.20),
+    "cactusBSSN": TraceSpec("cactusBSSN", "cpu", footprint=2560 * KB,
+                            stream_frac=0.75, hot_frac=0.15, hot_set_frac=0.06,
+                            write_frac=0.32, gap_mean=16.0, n_streams=6),
+    "fotonik3d": TraceSpec("fotonik3d", "cpu", footprint=2560 * KB,
+                           stream_frac=0.80, hot_frac=0.10, hot_set_frac=0.05,
+                           write_frac=0.28, gap_mean=14.0, n_streams=8),
+    "bwaves": TraceSpec("bwaves", "cpu", footprint=3 * MB, stream_frac=0.80,
+                        hot_frac=0.12, hot_set_frac=0.05, write_frac=0.25,
+                        gap_mean=15.0, n_streams=8),
+}
+
+
+def cpu_spec(name: str) -> TraceSpec:
+    try:
+        return CPU_SPECS[name]
+    except KeyError:
+        raise KeyError(f"unknown CPU workload {name!r}; "
+                       f"known: {sorted(CPU_SPECS)}") from None

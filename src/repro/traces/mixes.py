@@ -1,0 +1,103 @@
+"""Workload combinations C1-C12 (paper Table II) and trace assembly.
+
+Each combination runs four CPU workloads in SPEC "rate mode" with two
+copies each (filling the 8 CPU cores) plus one GPU workload.  Address
+regions are laid out back-to-back so every agent owns a disjoint part of
+the physical address space, exactly like separate processes under a
+first-touch allocator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import MB
+from repro.traces.base import Trace, generate_trace
+from repro.traces.cpu import cpu_spec
+from repro.traces.gpu import gpu_spec
+
+#: Paper Table II.
+MIXES: dict[str, tuple[tuple[str, str, str, str], str]] = {
+    "C1": (("gcc", "mcf", "lbm", "roms"), "backprop"),
+    "C2": (("omnetpp", "lbm", "gcc", "xz"), "backprop"),
+    "C3": (("roms", "mcf", "deepsjeng", "cactusBSSN"), "hotspot"),
+    "C4": (("lbm", "fotonik3d", "deepsjeng", "omnetpp"), "lud"),
+    "C5": (("roms", "lbm", "deepsjeng", "fotonik3d"), "streamcluster"),
+    "C6": (("omnetpp", "xz", "roms", "deepsjeng"), "pathfinder"),
+    "C7": (("bwaves", "gcc", "xz", "fotonik3d"), "needle"),
+    "C8": (("fotonik3d", "gcc", "omnetpp", "deepsjeng"), "bfs"),
+    "C9": (("mcf", "cactusBSSN", "roms", "deepsjeng"), "srad"),
+    "C10": (("deepsjeng", "xz", "roms", "bwaves"), "pathfinder"),
+    "C11": (("omnetpp", "gcc", "fotonik3d", "lbm"), "bert"),
+    "C12": (("mcf", "gcc", "cactusBSSN", "omnetpp"), "bert"),
+}
+
+ALL_MIXES = tuple(MIXES)
+
+#: Copies per CPU workload (rate mode, 8 cores / 4 workloads).
+CPU_COPIES = 2
+
+
+@dataclass(frozen=True)
+class WorkloadMix:
+    """Fully generated traces for one Table II combination."""
+
+    name: str
+    cpu_traces: tuple[Trace, ...]
+    gpu_traces: tuple[Trace, ...]
+
+    @property
+    def traces(self) -> tuple[Trace, ...]:
+        return self.cpu_traces + self.gpu_traces
+
+    @property
+    def footprint(self) -> int:
+        return sum(t.footprint for t in self.traces)
+
+
+def _align_region(footprint: int) -> int:
+    """Region stride for an agent: footprint rounded up to 1 MB."""
+    return (footprint + MB - 1) // MB * MB
+
+
+def build_mix(name: str, *, cpu_refs: int = 15_000, gpu_refs: int = 150_000,
+              seed: int = 7, scale: float = 1.0, footprint_scale: float = 1.0,
+              cpu_copies: int = CPU_COPIES) -> WorkloadMix:
+    """Generate all traces for combination ``name``.
+
+    ``scale`` multiplies reference counts only (run time vs statistical
+    quality); ``footprint_scale`` separately scales working-set sizes (used
+    by capacity-pressure sweeps).  Keeping the two independent preserves the
+    memory-pressure ratios the paper's results depend on.
+    """
+    if name not in MIXES:
+        raise KeyError(f"unknown mix {name!r}; known: {sorted(MIXES)}")
+    cpu_names, gpu_name = MIXES[name]
+
+    cpu_traces: list[Trace] = []
+    base = 0
+    # Deterministic per-mix seed stream (avoid hash(): it is salted per run).
+    agent_seed = seed * 1000 + (int(name[1:]) if name[1:].isdigit() else 0)
+    for wname in cpu_names:
+        spec = cpu_spec(wname).scaled(footprint_scale)
+        for copy in range(cpu_copies):
+            n = max(1000, int(cpu_refs * scale))
+            tr = generate_trace(spec, n, seed=agent_seed, base=base)
+            cpu_traces.append(tr)
+            base += _align_region(spec.footprint)
+            agent_seed += 1
+
+    gspec = gpu_spec(gpu_name).scaled(footprint_scale)
+    gtr = generate_trace(gspec, max(500, int(gpu_refs * scale)),
+                         seed=agent_seed, base=base)
+    return WorkloadMix(name, tuple(cpu_traces), (gtr,))
+
+
+def cpu_only(mix: WorkloadMix) -> WorkloadMix:
+    """The mix with the GPU removed (solo CPU run for Fig. 2a)."""
+    return WorkloadMix(mix.name + "-cpu", mix.cpu_traces, ())
+
+
+def gpu_only(mix: WorkloadMix) -> WorkloadMix:
+    """The mix with the CPUs removed (solo GPU run for Fig. 2a)."""
+    return WorkloadMix(mix.name + "-gpu", (), mix.gpu_traces)

@@ -1,0 +1,110 @@
+"""Tests for the trace-driven agent issue model."""
+
+import numpy as np
+import pytest
+
+from repro.engine.agents import TraceAgent
+from repro.engine.events import EventQueue
+from repro.traces.base import Trace
+
+
+def make_trace(n=10, gap=2.0, klass="cpu"):
+    return Trace("t", klass, np.arange(n, dtype=np.int64) * 64,
+                 np.zeros(n, bool), np.full(n, gap, np.float32), 64 * n, 0)
+
+
+class InstantMemory:
+    """Responds after a fixed latency."""
+
+    def __init__(self, eq, latency=10.0):
+        self.eq = eq
+        self.latency = latency
+        self.issued = []
+
+    def submit(self, klass, addr, is_write, cb):
+        self.issued.append((self.eq.now, addr))
+        self.eq.after(self.latency, cb)
+
+
+def run_agent(n=10, gap=2.0, mlp=1, latency=10.0, warmup=0.0):
+    eq = EventQueue()
+    mem = InstantMemory(eq, latency)
+    agent = TraceAgent("a", make_trace(n, gap), mlp, eq, mem.submit,
+                       warmup_frac=warmup)
+    agent.start()
+    eq.run(stop=lambda: agent.done)
+    return eq, mem, agent
+
+
+def test_blocking_mlp1_serializes():
+    """With mlp=1 each reference waits for the previous one, and the gap
+    work overlaps the outstanding miss (OOO core with one MSHR): total
+    time ~= first gap + n * latency."""
+    eq, mem, agent = run_agent(n=10, gap=2.0, mlp=1, latency=10.0)
+    assert agent.done_time == pytest.approx(2.0 + 10 * 10.0)
+
+
+def test_mlp1_gap_dominated():
+    """When gaps exceed the latency, the instruction stream is the limit."""
+    eq, mem, agent = run_agent(n=10, gap=25.0, mlp=1, latency=10.0)
+    assert agent.done_time == pytest.approx(10 * 25.0 + 10.0, rel=0.05)
+
+
+def test_deep_mlp_overlaps_latency():
+    eq1, _, a1 = run_agent(n=50, gap=1.0, mlp=1, latency=20.0)
+    eq8, _, a8 = run_agent(n=50, gap=1.0, mlp=8, latency=20.0)
+    assert a8.done_time < a1.done_time / 3
+
+
+def test_gap_rate_limits_even_with_huge_mlp():
+    """Issue rate cannot exceed the instruction stream rate."""
+    eq, mem, agent = run_agent(n=100, gap=5.0, mlp=64, latency=1.0)
+    assert agent.done_time >= 100 * 5.0
+
+
+def test_ipc_definition():
+    eq, mem, agent = run_agent(n=10, gap=2.0, mlp=1, latency=10.0)
+    assert agent.ipc == pytest.approx((10 + 20) / agent.done_time)
+
+
+def test_warmup_excluded_from_measurement():
+    eq, mem, agent = run_agent(n=100, gap=2.0, mlp=1, latency=10.0,
+                               warmup=0.5)
+    assert agent.warmup_refs == 50
+    assert agent.measured_cycles == pytest.approx(agent.done_time
+                                                  - agent.warm_time)
+    assert agent.measured_cycles < agent.done_time
+    assert agent.measured_instructions == pytest.approx((100 + 200) / 2)
+
+
+def test_wraparound_keeps_issuing_after_done():
+    eq = EventQueue()
+    mem = InstantMemory(eq, 5.0)
+    agent = TraceAgent("a", make_trace(10, 1.0), 2, eq, mem.submit)
+    agent.start()
+    eq.run(until=500.0)
+    assert agent.done
+    assert len(mem.issued) > 10  # wrapped and kept the pressure up
+
+
+def test_on_done_callback_fires_once():
+    eq = EventQueue()
+    mem = InstantMemory(eq, 5.0)
+    agent = TraceAgent("a", make_trace(5, 1.0), 1, eq, mem.submit)
+    calls = []
+    agent.on_done = lambda: calls.append(eq.now)
+    agent.start()
+    eq.run(until=300.0)
+    assert len(calls) == 1
+
+
+def test_mean_latency_accounting():
+    eq, mem, agent = run_agent(n=20, gap=3.0, mlp=1, latency=10.0)
+    assert agent.mean_latency == pytest.approx(10.0)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        run_agent(mlp=0)
+    with pytest.raises(ValueError):
+        run_agent(warmup=1.0)

@@ -1,0 +1,105 @@
+"""Tests for class-fair channel arbitration and the migration queue gate."""
+
+import pytest
+
+from repro.config import ddr4, default_system
+from repro.engine.events import EventQueue
+from repro.engine.stats import Stats
+from repro.hybrid.controller import HybridMemoryController
+from repro.hybrid.policies.nopart import NoPartitionPolicy
+from repro.mem.device import MemoryDevice
+
+
+def make_channel():
+    eq = EventQueue()
+    dev = MemoryDevice(ddr4(), eq, Stats(), "slow")
+    return eq, dev.channels[0]
+
+
+def test_round_robin_interleaves_classes():
+    """With both classes queued, service alternates — a GPU burst cannot
+    bury a CPU request behind the whole burst."""
+    eq, ch = make_channel()
+    order = []
+    ch.submit("gpu", 64, False, 0)  # occupies the bus
+    for i in range(10):
+        ch.submit("gpu", 64, False, 4096 * i,
+                  on_complete=lambda i=i: order.append("gpu"))
+    for i in range(2):
+        ch.submit("cpu", 64, False, 8192 * i,
+                  on_complete=lambda: order.append("cpu"))
+    eq.run()
+    # Both CPU requests complete within the first ~5 services.
+    assert order.index("cpu") <= 2
+    assert [o for o in order].count("cpu") == 2
+    assert order[:6].count("cpu") == 2
+
+
+def test_round_robin_falls_through_when_one_class_empty():
+    eq, ch = make_channel()
+    done = []
+    for i in range(5):
+        ch.submit("gpu", 64, False, 64 * i, on_complete=lambda: done.append(1))
+    eq.run()
+    assert len(done) == 5
+
+
+def test_priority_class_overrides_round_robin():
+    eq, ch = make_channel()
+    ch.priority_class = "cpu"
+    order = []
+    ch.submit("gpu", 256, False, 0)
+    for i in range(4):
+        ch.submit("gpu", 64, False, 4096 * i,
+                  on_complete=lambda: order.append("gpu"))
+    # Untouched banks so bank-conflict latencies don't confound ordering.
+    ch.submit("cpu", 64, False, 5 * 4096,
+              on_complete=lambda: order.append("cpu"))
+    ch.submit("cpu", 64, False, 6 * 4096 + 64,
+              on_complete=lambda: order.append("cpu"))
+    eq.run()
+    # The CPU requests were served first: they complete within the first
+    # three completions (the queued GPU request to the already-open row 0
+    # can still finish early because completion order also depends on
+    # row-buffer state, not only service order).
+    cpu_positions = [i for i, o in enumerate(order) if o == "cpu"]
+    assert len(cpu_positions) == 2
+    assert max(cpu_positions) <= 2
+
+
+def test_queue_gate_suppresses_migrations_under_saturation():
+    from dataclasses import replace
+    cfg = default_system()
+    cfg = replace(cfg, hybrid=replace(cfg.hybrid, migrate_queue_limit=2))
+    eq = EventQueue()
+    stats = Stats()
+    ctrl = HybridMemoryController(cfg, eq, stats, NoPartitionPolicy())
+    # Burst of misses to one slow channel: once 2 requests are queued,
+    # further misses bypass instead of migrating.
+    blockstride = cfg.hybrid.block * cfg.slow.channels
+    for i in range(20):
+        ctrl.access("gpu", i * blockstride, False, lambda: None)
+    eq.run()
+    ctrl.flush_stats()
+    assert stats.get("gpu.queue_bypasses") > 0
+    assert stats.get("gpu.migrations") < 20
+    # bypasses counts every non-migrated miss; queue_bypasses is the
+    # subset suppressed by the gate.
+    assert stats.get("gpu.migrations") + stats.get("gpu.bypasses") == 20
+    assert stats.get("gpu.queue_bypasses") <= stats.get("gpu.bypasses")
+
+
+def test_queue_gate_disabled_with_huge_limit():
+    from dataclasses import replace
+    cfg = default_system()
+    cfg = replace(cfg, hybrid=replace(cfg.hybrid, migrate_queue_limit=10**9))
+    eq = EventQueue()
+    stats = Stats()
+    ctrl = HybridMemoryController(cfg, eq, stats, NoPartitionPolicy())
+    blockstride = cfg.hybrid.block * cfg.slow.channels
+    for i in range(20):
+        ctrl.access("gpu", i * blockstride, False, lambda: None)
+    eq.run()
+    ctrl.flush_stats()
+    assert stats.get("gpu.queue_bypasses") == 0
+    assert stats.get("gpu.migrations") == 20

@@ -1,0 +1,68 @@
+"""Tests for the PartitionPolicy base-class defaults."""
+
+import pytest
+
+from repro.config import default_system
+from repro.engine.events import EventQueue
+from repro.engine.stats import Stats
+from repro.hybrid.controller import HybridMemoryController
+from repro.hybrid.policies.base import PartitionPolicy
+
+
+def attach():
+    pol = PartitionPolicy()
+    cfg = default_system()
+    ctrl = HybridMemoryController(cfg, EventQueue(), Stats(), pol)
+    return cfg, pol, ctrl
+
+
+def test_default_geometry_hooks():
+    cfg, pol, ctrl = attach()
+    assert pol.way_owner(0, 0) == "shared"
+    assert pol.eligible_ways(0, "cpu") == (0, 1, 2, 3)
+    chans = {pol.way_channel(s, w) for s in range(8) for w in range(4)}
+    assert chans == set(range(cfg.fast.channels))
+
+
+def test_default_decision_hooks():
+    cfg, pol, ctrl = attach()
+    assert pol.allow_migration("gpu", 0, 2, True)
+    assert pol.alternate_set(0, 0) is None
+    assert pol.extra_probe_latency("cpu", chained=True) == 0.0
+    assert pol.on_fast_hit(0, 0, [0, False, "cpu", 0.0, 0, 0], "cpu") is None
+    assert not pol.channel_changed(0, 0, 0)
+
+
+def test_default_pick_victim_prefers_free_then_lru():
+    cfg, pol, ctrl = attach()
+    st = ctrl.store
+    assert pol.pick_victim(0, "cpu") == 0  # all free
+    st.insert(0, 0, 100, "cpu", False, 5.0, 0)
+    assert pol.pick_victim(0, "cpu") == 1  # next free way
+    for w, t in ((1, 1.0), (2, 9.0), (3, 4.0)):
+        st.insert(0, w, 100 + w, "cpu", False, t, 0)
+    assert pol.pick_victim(0, "cpu") == 1  # LRU among occupied
+
+
+def test_default_pick_insertion_uses_home_set():
+    cfg, pol, ctrl = attach()
+    assert pol.pick_insertion(7, block=12345, klass="gpu") == (7, 0)
+
+
+def test_no_eligible_ways_means_no_insertion():
+    class Locked(PartitionPolicy):
+        def eligible_ways(self, set_id, klass):
+            return ()
+
+    pol = Locked()
+    HybridMemoryController(default_system(), EventQueue(), Stats(), pol)
+    assert pol.pick_victim(0, "cpu") is None
+    assert pol.pick_insertion(0, 1, "cpu") is None
+
+
+def test_epoch_hooks_are_noops():
+    cfg, pol, ctrl = attach()
+    pol.on_epoch(0.0, {"weighted_ipc": 1.0})
+    pol.on_faucet(0.0)
+    pol.on_phase(0.0)
+    assert pol.describe() == {"policy": "base"}

@@ -1,0 +1,44 @@
+"""The benchmark modules parse and declare the expected structure."""
+
+import ast
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+
+EXPECTED = {
+    "bench_table1_config.py",
+    "bench_table2_workloads.py",
+    "bench_fig2_motivation.py",
+    "bench_fig5_overall.py",
+    "bench_fig6_energy.py",
+    "bench_fig7_overheads.py",
+    "bench_fig8_search.py",
+    "bench_fig9_epochs.py",
+    "bench_fig10_weights_cores.py",
+    "bench_fig11_geometry.py",
+    "bench_ablations.py",
+}
+
+
+def test_one_benchmark_per_exhibit():
+    found = {p.name for p in BENCH_DIR.glob("bench_*.py")}
+    assert found == EXPECTED
+
+
+def test_benchmarks_parse_and_have_tests():
+    for path in sorted(BENCH_DIR.glob("bench_*.py")):
+        tree = ast.parse(path.read_text())
+        test_fns = [n for n in ast.walk(tree)
+                    if isinstance(n, ast.FunctionDef)
+                    and n.name.startswith("test_")]
+        assert test_fns, f"{path.name} has no test functions"
+        # Every test function takes the pytest-benchmark fixture.
+        for fn in test_fns:
+            assert "benchmark" in [a.arg for a in fn.args.args], \
+                f"{path.name}:{fn.name} missing benchmark fixture"
+
+
+def test_benchmarks_have_docstrings():
+    for path in sorted(BENCH_DIR.glob("bench_*.py")):
+        tree = ast.parse(path.read_text())
+        assert ast.get_docstring(tree), f"{path.name} missing module docstring"

@@ -1,0 +1,125 @@
+"""Tests for the on-chip cache substrate."""
+
+import numpy as np
+import pytest
+
+from repro.cachesim.cache import Cache
+from repro.cachesim.hierarchy import CacheHierarchy, filter_trace
+from repro.config import KB, CacheConfig, default_system
+from repro.traces.base import Trace
+from repro.traces.cpu import cpu_spec
+from repro.traces.base import generate_trace
+
+
+def small_cache(size=1 * KB, ways=2, line=64, latency=3.0):
+    return Cache(CacheConfig(size, ways, line, latency))
+
+
+def test_miss_then_hit():
+    c = small_cache()
+    assert not c.access(0, False).hit
+    assert c.access(0, False).hit
+    assert c.access(63, False).hit  # same line
+    assert not c.access(64, False).hit  # next line
+    assert c.hit_rate == pytest.approx(0.5)
+
+
+def test_lru_eviction_order():
+    c = small_cache(size=2 * 64, ways=2)  # one set, two ways
+    c.access(0, False)
+    c.access(64 * c.sets, False)  # same set (sets=1)
+    c.access(0, False)            # touch 0 -> MRU
+    res = c.access(2 * 64 * c.sets, False)  # evicts line 64*sets
+    assert not res.hit
+    assert c.contains(0)
+    assert not c.contains(64 * c.sets)
+
+
+def test_dirty_writeback_on_eviction():
+    c = small_cache(size=2 * 64, ways=2)
+    c.access(0, True)  # dirty
+    c.access(64, False)
+    res = c.access(128, False)  # evicts line 0
+    assert res.writeback_addr == 0
+    assert c.writebacks == 1
+
+
+def test_clean_eviction_no_writeback():
+    c = small_cache(size=2 * 64, ways=2)
+    c.access(0, False)
+    c.access(64, False)
+    res = c.access(128, False)
+    assert res.writeback_addr is None
+
+
+def test_write_hit_marks_dirty():
+    c = small_cache(size=2 * 64, ways=2)
+    c.access(0, False)
+    c.access(0, True)  # write hit -> dirty
+    c.access(64, False)
+    res = c.access(128, False)
+    assert res.writeback_addr == 0
+
+
+def test_invalidate():
+    c = small_cache()
+    c.access(0, True)
+    assert c.invalidate(0) is True  # was dirty
+    assert not c.contains(0)
+    assert c.invalidate(0) is False
+
+
+def test_occupancy_bounded():
+    c = small_cache(size=1 * KB, ways=2)
+    for i in range(1000):
+        c.access(i * 64, False)
+    assert c.occupancy() <= c.sets * c.ways
+
+
+def test_hierarchy_filters_hits():
+    cfg = default_system()
+    h = CacheHierarchy.for_cpu(cfg)
+    missed, lat, _ = h.access(0, False)
+    assert missed  # cold
+    missed2, lat2, _ = h.access(0, False)
+    assert not missed2
+    assert lat2 < lat  # L1 hit is cheaper than walking all levels
+
+
+def test_hierarchy_for_gpu_two_levels():
+    cfg = default_system()
+    h = CacheHierarchy.for_gpu(cfg)
+    assert len(h.levels) == 2
+
+
+def test_filter_trace_preserves_instruction_content():
+    spec = cpu_spec("gcc")
+    tr = generate_trace(spec, 5000, seed=1)
+    cfg = default_system()
+    filtered = filter_trace(tr, CacheHierarchy.for_cpu(cfg))
+    assert len(filtered) <= len(tr) + 5000  # misses + writebacks
+    # gap content (instruction time) is preserved or grown by hit latencies
+    assert filtered.gaps.sum() >= tr.gaps.sum() * 0.99
+    assert filtered.klass == "cpu"
+
+
+def test_filter_trace_reduces_references():
+    """A hot workload should be heavily filtered by on-chip caches."""
+    spec = cpu_spec("deepsjeng")
+    tr = generate_trace(spec, 20_000, seed=2)
+    filtered = filter_trace(tr, CacheHierarchy.for_cpu(default_system()))
+    assert len(filtered) < len(tr)
+
+
+def test_filter_trace_emits_writebacks_as_writes():
+    spec = cpu_spec("lbm")  # write-heavy streaming
+    tr = generate_trace(spec, 30_000, seed=3)
+    filtered = filter_trace(tr, CacheHierarchy.for_cpu(default_system()))
+    assert filtered.writes.sum() > 0
+
+
+def test_filter_trace_never_empty():
+    tr = Trace("tiny", "cpu", np.array([0, 0, 0], dtype=np.int64),
+               np.zeros(3, bool), np.ones(3, np.float32), 64, 0)
+    filtered = filter_trace(tr, CacheHierarchy.for_cpu(default_system()))
+    assert len(filtered) >= 1

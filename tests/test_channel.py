@@ -1,0 +1,146 @@
+"""Tests for the memory channel / device timing model."""
+
+import pytest
+
+from repro.config import ddr4, hbm2e
+from repro.engine.events import EventQueue
+from repro.engine.stats import Stats
+from repro.mem.device import MemoryDevice
+
+
+def make_device(cfg=None, prefix="slow"):
+    eq = EventQueue()
+    stats = Stats()
+    dev = MemoryDevice(cfg or ddr4(), eq, stats, prefix)
+    return eq, stats, dev
+
+
+def test_single_access_latency_closed_row():
+    eq, stats, dev = make_device()
+    done = []
+    dev.submit(0, "cpu", 64, False, 0, on_complete=lambda: done.append(eq.now))
+    eq.run()
+    t = dev.cfg.timing
+    # closed-row access: RCD + CAS + 64B burst + off-package link hop.
+    assert done == [pytest.approx(t.t_rcd + t.t_cas + t.burst_cycles(64)
+                                  + dev.cfg.link_latency)]
+
+
+def test_row_hit_is_faster():
+    eq, stats, dev = make_device()
+    done = []
+    dev.submit(0, "cpu", 64, False, 0, on_complete=lambda: done.append(eq.now))
+    eq.run()
+    first = done[0]
+    dev.submit(0, "cpu", 64, False, 64, on_complete=lambda: done.append(eq.now))
+    eq.run()
+    assert done[1] - first < first  # second (row hit) is faster
+
+
+def test_row_conflict_pays_precharge():
+    eq, stats, dev = make_device()
+    done = []
+    t = dev.cfg.timing
+    row = t.row_bytes * t.banks  # same bank, different row
+    dev.submit(0, "cpu", 64, False, 0, on_complete=lambda: done.append(eq.now))
+    eq.run()
+    dev.submit(0, "cpu", 64, False, row, on_complete=lambda: done.append(eq.now))
+    eq.run()
+    conflict_lat = done[1] - done[0]
+    assert conflict_lat == pytest.approx(t.t_rp + t.t_rcd + t.t_cas
+                                         + t.burst_cycles(64)
+                                         + dev.cfg.link_latency)
+
+
+def test_bus_serialization_under_load():
+    """N back-to-back bursts take ~N * burst_time of bus occupancy."""
+    eq, stats, dev = make_device()
+    done = []
+    n = 50
+    for i in range(n):
+        dev.submit(0, "gpu", 64, False, i * 64,
+                   on_complete=lambda: done.append(eq.now))
+    eq.run()
+    t = dev.cfg.timing
+    # Last completion >= n bursts of bus time.
+    assert done[-1] >= n * t.burst_cycles(64)
+    dev.flush_stats()
+    assert stats.get("slow.accesses") == n
+
+
+def test_channels_are_independent():
+    eq, stats, dev = make_device()
+    done = {}
+    dev.submit(0, "cpu", 64, False, 0, on_complete=lambda: done.setdefault(0, eq.now))
+    dev.submit(1, "cpu", 64, False, 64, on_complete=lambda: done.setdefault(1, eq.now))
+    eq.run()
+    assert done[0] == done[1]  # no mutual queueing
+
+
+def test_priority_class_jumps_queue():
+    eq, stats, dev = make_device()
+    dev.set_priority_class("cpu")
+    order = []
+    # Fill the bus, then enqueue gpu-first, cpu-second; cpu should finish first.
+    dev.submit(0, "gpu", 256, False, 0)
+    for i in range(5):
+        dev.submit(0, "gpu", 256, False, 4096 * i,
+                   on_complete=lambda i=i: order.append(("gpu", i)))
+    dev.submit(0, "cpu", 64, False, 8192,
+               on_complete=lambda: order.append(("cpu", 0)))
+    eq.run()
+    # The CPU request jumped the queued GPU requests.  (It may still
+    # *complete* after the first GPU burst because access latency overlaps
+    # with the bus, so assert position, not strict first place.)
+    assert order.index(("cpu", 0)) <= 1
+
+
+def test_fire_and_forget_occupies_bus():
+    eq, stats, dev = make_device()
+    done = []
+    dev.submit(0, "gpu", 256, True, 0)  # background write, no callback
+    dev.submit(0, "cpu", 64, False, 64, on_complete=lambda: done.append(eq.now))
+    eq.run()
+    t = dev.cfg.timing
+    assert done[0] > t.burst_cycles(256)  # waited for the background burst
+
+
+def test_stats_accounting():
+    eq, stats, dev = make_device()
+    dev.submit(0, "cpu", 64, False, 0)
+    dev.submit(0, "gpu", 256, True, 4096)
+    eq.run()
+    dev.flush_stats()
+    assert stats.get("slow.bytes_read") == 64
+    assert stats.get("slow.bytes_written") == 256
+    assert stats.get("slow.cpu.bytes") == 64
+    assert stats.get("slow.gpu.bytes") == 256
+    assert stats.get("slow.activations") >= 1
+
+
+def test_utilization():
+    eq, stats, dev = make_device()
+    for i in range(8):
+        dev.submit(i % dev.cfg.channels, "gpu", 256, False, i * 256)
+    eq.run()
+    assert 0.0 < dev.utilization(eq.now) <= 1.0
+
+
+def test_extra_latency_applied():
+    eq, stats, dev = make_device()
+    done = []
+    dev.submit(0, "cpu", 64, False, 0, on_complete=lambda: done.append(eq.now),
+               extra=100.0)
+    eq.run()
+    t = dev.cfg.timing
+    assert done[0] == pytest.approx(t.t_rcd + t.t_cas + t.burst_cycles(64)
+                                    + dev.cfg.link_latency + 100.0)
+
+
+def test_hbm_superchannel_burst_is_one_cycle():
+    eq, stats, dev = make_device(hbm2e(), "fast")
+    done = []
+    dev.submit(0, "gpu", 64, False, 0, on_complete=lambda: done.append(eq.now))
+    eq.run()
+    t = dev.cfg.timing
+    assert t.burst_cycles(64) == pytest.approx(1.0)

@@ -1,0 +1,95 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main, make_parser
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+def test_designs_listing(capsys):
+    code, out = run_cli(capsys, "designs")
+    assert code == 0
+    assert "hydrogen" in out and "C12" in out and "backprop" in out
+
+
+def test_config_dump_and_override(capsys):
+    code, out = run_cli(capsys, "config", "--set", "hybrid.assoc=8")
+    assert code == 0
+    cfg = json.loads(out)
+    assert cfg["hybrid"]["assoc"] == 8
+
+
+def test_config_bad_override(capsys):
+    with pytest.raises(SystemExit):
+        main(["config", "--set", "hybrid.assoc"])  # missing =value
+
+
+def test_run_outputs_json(capsys):
+    code, out = run_cli(capsys, "run", "--mix", "C1", "--design", "baseline",
+                        "--scale", "0.05")
+    assert code == 0
+    res = json.loads(out)
+    assert res["design"] == "baseline"
+    assert res["cpu_cycles"] > 0
+
+
+def test_run_custom_mix(capsys):
+    code, out = run_cli(capsys, "run", "--mix", "gcc-xz:lud",
+                        "--design", "waypart", "--scale", "0.05")
+    res = json.loads(out)
+    assert res["mix"] == "gcc-xz:lud"
+
+
+def test_compare_table(capsys):
+    code, out = run_cli(capsys, "compare", "--mix", "C1", "--scale", "0.05",
+                        "--designs", "waypart")
+    assert code == 0
+    assert "baseline" in out and "waypart" in out
+
+
+def test_traces_command(capsys, tmp_path):
+    code, out = run_cli(capsys, "traces", "--mix", "C1", "--scale", "0.05",
+                        "--out", str(tmp_path / "t"))
+    assert code == 0
+    assert out.count(".npz") == 9
+
+
+def test_fig_unknown(capsys):
+    with pytest.raises(SystemExit):
+        main(["fig", "fig99"])
+
+
+def test_hbm3_flag(capsys):
+    code, out = run_cli(capsys, "config", "--hbm3")
+    cfg = json.loads(out)
+    assert cfg["fast"]["name"] == "HBM3"
+
+
+def test_parser_structure():
+    p = make_parser()
+    args = p.parse_args(["run", "--mix", "C2", "--design", "hydrogen"])
+    assert args.mix == "C2"
+    with pytest.raises(SystemExit):
+        p.parse_args(["run", "--design", "unknown-design"])
+
+
+def test_report_command(capsys, tmp_path):
+    csv_file = tmp_path / "perf.csv"
+    csv_file.write_text(
+        "design,mix,cpu_cycles,gpu_cycles,cpu_speedup,gpu_speedup,"
+        "weighted_speedup\n"
+        "baseline,C1,100,50,1.0,1.0,1.0\n"
+        "hydrogen,C1,80,60,1.25,0.83,1.20\n"
+        "hydrogen,C2,90,55,1.11,0.91,1.10\n")
+    code, out = run_cli(capsys, "report", str(csv_file))
+    assert code == 0
+    assert "hydrogen" in out and "baseline" in out
+    lines = out.strip().splitlines()
+    assert lines[2].split()[0] == "hydrogen"  # sorted by geomean desc

@@ -1,0 +1,105 @@
+"""Tests for repro.config (paper Table I)."""
+
+import math
+
+import pytest
+
+from repro.config import (CACHELINE, KB, MB, CacheConfig, HybridConfig,
+                          MemTiming, SystemConfig, ddr4, default_system,
+                          hbm2e, hbm3, validate_ratios)
+
+
+def test_default_ratios_match_paper():
+    cfg = default_system()
+    ratios = validate_ratios(cfg)
+    # Fast tier has 1/8 the slow capacity (Section V).
+    assert ratios["fast_slow_capacity_ratio"] == pytest.approx(1 / 8)
+    # HBM2E ~4x DDR4 aggregate bandwidth (Section II-A).
+    assert ratios["fast_slow_bandwidth_ratio"] == pytest.approx(4.0)
+    assert ratios["sets_pow2"]
+
+
+def test_hbm3_doubles_bandwidth():
+    assert hbm3().bytes_per_cycle_total == 2 * hbm2e().bytes_per_cycle_total
+
+
+def test_channel_counts_match_table1():
+    cfg = default_system()
+    # 16 HBM channels grouped into 4-channel superchannels; 4 DDR channels.
+    assert cfg.fast.channels == 4
+    assert cfg.slow.channels == 4
+
+
+def test_num_sets_definition():
+    cfg = default_system()
+    assert cfg.num_sets * cfg.hybrid.block * cfg.hybrid.assoc == cfg.fast.capacity
+
+
+def test_set_of_block_interleaving():
+    cfg = default_system()
+    b = cfg.hybrid.block
+    assert cfg.set_of(0) == 0
+    assert cfg.set_of(b) == 1
+    assert cfg.set_of(b * cfg.num_sets) == 0
+    # All lines of one block land in the same set.
+    assert cfg.set_of(b - 1) == cfg.set_of(0)
+
+
+def test_with_geometry_changes_sets():
+    cfg = default_system()
+    g = cfg.with_geometry(assoc=1)
+    assert g.num_sets == cfg.num_sets * cfg.hybrid.assoc
+    g2 = cfg.with_geometry(block=1024)
+    assert g2.num_sets == cfg.num_sets // 4
+    # Original untouched (frozen dataclasses).
+    assert cfg.hybrid.assoc == 4
+
+
+def test_invalid_configs_rejected():
+    with pytest.raises(ValueError):
+        SystemConfig(fast=hbm2e(capacity=1000))  # not block*assoc aligned
+    from dataclasses import replace
+    cfg = default_system()
+    with pytest.raises(ValueError):
+        replace(cfg, hybrid=HybridConfig(mode="sideways"))
+
+
+def test_mem_timing_latencies_ordered():
+    t = MemTiming(t_rcd=22, t_cas=22, t_rp=22, bytes_per_cycle=16,
+                  row_bytes=4 * KB, banks=16)
+    assert t.access_latency("hit") < t.access_latency("closed") \
+        < t.access_latency("conflict")
+    with pytest.raises(ValueError):
+        t.access_latency("open")
+
+
+def test_burst_cycles():
+    t = ddr4().timing
+    assert t.burst_cycles(64) == pytest.approx(4.0)
+    assert t.burst_cycles(256) == pytest.approx(16.0)
+    assert hbm2e().timing.burst_cycles(64) == pytest.approx(1.0)
+
+
+def test_energy_params_match_table1():
+    assert hbm2e().energy.rw_pj_per_bit == pytest.approx(6.4)
+    assert ddr4().energy.rw_pj_per_bit == pytest.approx(33.0)
+    assert ddr4().energy.activate_nj() == pytest.approx(15.0)
+    # 64 B at 33 pJ/bit = 16.9 nJ.
+    assert ddr4().energy.access_nj(64) == pytest.approx(64 * 8 * 33 / 1000)
+
+
+def test_cache_config_sets():
+    c = CacheConfig(64 * KB, 8, CACHELINE)
+    assert c.sets == 64 * KB // (8 * 64)
+
+
+def test_remap_cache_entries_fraction():
+    cfg = default_system()
+    assert cfg.remap_cache_entries == max(
+        16, int(cfg.num_sets * cfg.hybrid.remap_cache_frac))
+
+
+def test_weighted_ipc_weights_default():
+    cfg = default_system()
+    # CPU:GPU = 12:1 following the core-count ratio (Section V).
+    assert cfg.weight_cpu / cfg.weight_gpu == pytest.approx(12.0)

@@ -1,0 +1,51 @@
+"""Tests for config JSON serialization and overrides."""
+
+import pytest
+
+from repro.config import default_system
+from repro.config_io import (apply_overrides, config_from_dict,
+                             config_from_json, config_to_dict,
+                             config_to_json)
+
+
+def test_roundtrip_dict():
+    cfg = default_system()
+    assert config_from_dict(config_to_dict(cfg)) == cfg
+
+
+def test_roundtrip_json_file(tmp_path):
+    cfg = default_system()
+    path = tmp_path / "sys.json"
+    config_to_json(cfg, path)
+    assert config_from_json(str(path)) == cfg
+
+
+def test_roundtrip_json_string():
+    cfg = default_system()
+    assert config_from_json(config_to_json(cfg)) == cfg
+
+
+def test_overrides_nested():
+    cfg = default_system()
+    out = apply_overrides(cfg, {"hybrid.assoc": 8, "fast.channels": 2,
+                                "weight_cpu": 4.0})
+    assert out.hybrid.assoc == 8
+    assert out.fast.channels == 2
+    assert out.weight_cpu == 4.0
+    # untouched fields survive
+    assert out.slow == cfg.slow
+
+
+def test_override_unknown_key_rejected():
+    cfg = default_system()
+    with pytest.raises(KeyError):
+        apply_overrides(cfg, {"hybrid.bogus": 1})
+    with pytest.raises(KeyError):
+        apply_overrides(cfg, {"nope.assoc": 1})
+
+
+def test_override_still_validates():
+    cfg = default_system()
+    with pytest.raises(ValueError):
+        # capacity no longer divisible by block*assoc
+        apply_overrides(cfg, {"fast.capacity": 1000})

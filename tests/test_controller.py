@@ -1,0 +1,160 @@
+"""Integration tests for the hybrid memory controller (Fig. 4 flow)."""
+
+import pytest
+
+from repro.config import MB, default_system
+from repro.engine.events import EventQueue
+from repro.engine.stats import Stats
+from repro.hybrid.controller import HybridMemoryController
+from repro.hybrid.policies.nopart import NoPartitionPolicy
+from repro.hybrid.setassoc import DIRTY, KLASS
+
+
+def make_ctrl(policy=None, **cfg_kw):
+    cfg = default_system(**cfg_kw)
+    eq = EventQueue()
+    stats = Stats()
+    ctrl = HybridMemoryController(cfg, eq, stats, policy or NoPartitionPolicy())
+    return cfg, eq, stats, ctrl
+
+
+def run_access(ctrl, eq, klass, addr, is_write=False):
+    done = []
+    ctrl.access(klass, addr, is_write, lambda: done.append(eq.now))
+    eq.run()
+    assert done, "access never completed"
+    return done[0]
+
+
+def test_first_access_misses_then_hits():
+    cfg, eq, stats, ctrl = make_ctrl()
+    t_miss = run_access(ctrl, eq, "cpu", 0)
+    ctrl.flush_stats()
+    assert stats.get("cpu.fast_misses") == 1
+    assert stats.get("cpu.migrations") == 1
+    t0 = eq.now
+    t_hit = run_access(ctrl, eq, "cpu", 64) - t0  # same 256B block
+    ctrl.flush_stats()
+    assert stats.get("cpu.fast_hits") == 1
+    assert t_hit < t_miss
+
+
+def test_block_granularity_spatial_hits():
+    cfg, eq, stats, ctrl = make_ctrl()
+    for off in (0, 64, 128, 192):
+        run_access(ctrl, eq, "gpu", off)
+    ctrl.flush_stats()
+    assert stats.get("gpu.fast_misses") == 1
+    assert stats.get("gpu.fast_hits") == 3
+
+
+def test_migration_fills_the_home_set():
+    cfg, eq, stats, ctrl = make_ctrl()
+    run_access(ctrl, eq, "cpu", 0)
+    assert ctrl.store.lookup(cfg.set_of(0), cfg.block_of(0)) is not None
+
+
+def test_dirty_victim_writeback():
+    cfg, eq, stats, ctrl = make_ctrl()
+    blockstride = cfg.hybrid.block * cfg.num_sets  # same set
+    # Fill all 4 ways of set 0 with dirty blocks.
+    for i in range(cfg.hybrid.assoc):
+        run_access(ctrl, eq, "cpu", i * blockstride, is_write=True)
+    # Fifth block evicts the LRU dirty victim.
+    run_access(ctrl, eq, "cpu", 4 * blockstride)
+    ctrl.flush_stats()
+    assert stats.get("cpu.writebacks") == 1
+    assert stats.get("cpu.evictions") == 1
+
+
+def test_write_allocate_marks_dirty():
+    cfg, eq, stats, ctrl = make_ctrl()
+    run_access(ctrl, eq, "cpu", 0, is_write=True)
+    e = ctrl.store.entry(cfg.set_of(0), 0)
+    assert e is not None and e[DIRTY]
+
+
+def test_remap_fill_traffic_counted():
+    cfg, eq, stats, ctrl = make_ctrl()
+    # Touch more sets than the remap cache holds.
+    n = cfg.remap_cache_entries * 2
+    for s in range(n):
+        run_access(ctrl, eq, "cpu", s * cfg.hybrid.block)
+    ctrl.flush_stats()
+    assert stats.get("cpu.remap_fills") > 0
+
+
+def test_slow_traffic_amplification():
+    """A migrating miss moves ~4x the demand bytes through the slow tier
+    (the Section IV-B amplification)."""
+    cfg, eq, stats, ctrl = make_ctrl()
+    run_access(ctrl, eq, "cpu", 0)
+    ctrl.flush_stats()
+    slow_bytes = stats.get("slow.bytes_read") + stats.get("slow.bytes_written")
+    assert slow_bytes == cfg.hybrid.block  # 64 demand + 192 refill
+
+
+def test_bypass_leaves_store_unchanged():
+    class DenyAll(NoPartitionPolicy):
+        def allow_migration(self, klass, block, cost, is_write):
+            return False
+
+    cfg, eq, stats, ctrl = make_ctrl(policy=DenyAll())
+    run_access(ctrl, eq, "gpu", 0)
+    ctrl.flush_stats()
+    assert stats.get("gpu.bypasses") == 1
+    assert ctrl.store.occupancy() == 0
+    # Bypassed miss only moves 64 B through the slow tier.
+    assert stats.get("slow.bytes_read") == 64
+
+
+def test_flat_mode_swap_traffic():
+    from dataclasses import replace
+    cfg = default_system()
+    cfg = replace(cfg, hybrid=replace(cfg.hybrid, mode="flat"))
+    eq = EventQueue()
+    stats = Stats()
+    ctrl = HybridMemoryController(cfg, eq, stats, NoPartitionPolicy())
+    blockstride = cfg.hybrid.block * cfg.num_sets
+    for i in range(cfg.hybrid.assoc + 1):  # last one needs a swap
+        run_access(ctrl, eq, "gpu", i * blockstride)
+    ctrl.flush_stats()
+    # The displaced block traveled back to the slow tier even though clean.
+    assert stats.get("gpu.writebacks") == 1
+    assert stats.get("gpu.migration_tokens") == 2 * (cfg.hybrid.assoc + 1)
+
+
+def test_cross_class_isolation_of_counters():
+    cfg, eq, stats, ctrl = make_ctrl()
+    run_access(ctrl, eq, "cpu", 0)
+    run_access(ctrl, eq, "gpu", 8 * MB)
+    ctrl.flush_stats()
+    assert stats.get("cpu.accesses") == 1
+    assert stats.get("gpu.accesses") == 1
+
+
+def test_live_count_includes_pending():
+    cfg, eq, stats, ctrl = make_ctrl()
+    run_access(ctrl, eq, "cpu", 0)
+    assert ctrl.live_count("cpu", "accesses") == 1  # before any flush
+    ctrl.flush_stats()
+    assert ctrl.live_count("cpu", "accesses") == 1  # after flush
+
+
+def test_lazy_invalidation_on_owner_mismatch():
+    class FlipOwner(NoPartitionPolicy):
+        def __init__(self):
+            super().__init__()
+            self.flip = False
+
+        def way_owner(self, set_id, way):
+            return "gpu" if self.flip else "shared"
+
+    pol = FlipOwner()
+    cfg, eq, stats, ctrl = make_ctrl(policy=pol)
+    run_access(ctrl, eq, "cpu", 0)
+    pol.flip = True  # repartition: way now belongs to the GPU
+    run_access(ctrl, eq, "cpu", 0)  # hit, then lazily invalidated
+    ctrl.flush_stats()
+    assert stats.get("reconfig.lazy_invalidations") == 1
+    assert ctrl.store.occupancy() == 0

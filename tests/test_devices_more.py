@@ -1,0 +1,99 @@
+"""Additional memory-device and controller edge-case tests."""
+
+import pytest
+
+from repro.config import ddr4, default_system, hbm2e, hbm3
+from repro.engine.events import EventQueue
+from repro.engine.stats import Stats
+from repro.hybrid.controller import HybridMemoryController
+from repro.hybrid.policies.nopart import NoPartitionPolicy
+from repro.mem.device import MemoryDevice
+
+
+def test_channel_index_wraps():
+    eq = EventQueue()
+    dev = MemoryDevice(ddr4(channels=4), eq, Stats(), "slow")
+    done = []
+    dev.submit(7, "cpu", 64, False, 0, on_complete=lambda: done.append(1))
+    eq.run()
+    assert done == [1]  # 7 % 4 == 3, no crash
+
+
+def test_device_queue_depth_live():
+    eq = EventQueue()
+    dev = MemoryDevice(ddr4(channels=1), eq, Stats(), "slow")
+    for i in range(5):
+        dev.submit(0, "gpu", 256, False, i * 4096)
+    assert dev.queue_depth() == 5
+    eq.run()
+    assert dev.queue_depth() == 0
+
+
+def test_busy_cycles_track_bytes():
+    eq = EventQueue()
+    dev = MemoryDevice(ddr4(channels=1), eq, Stats(), "slow")
+    dev.submit(0, "cpu", 256, True, 0)
+    dev.submit(0, "cpu", 64, False, 4096)
+    eq.run()
+    t = dev.cfg.timing
+    assert dev.total_busy_cycles == pytest.approx(
+        t.burst_cycles(256) + t.burst_cycles(64))
+
+
+def test_link_latency_fast_vs_slow():
+    assert hbm2e().link_latency == 0.0
+    assert ddr4().link_latency > 0.0
+    assert hbm3().link_latency == 0.0
+
+
+def test_slow_access_latency_exceeds_fast():
+    """The premise that makes caching worthwhile: an (uncontended) slow
+    demand access costs clearly more than a fast hit."""
+    cfg = default_system()
+    f, s = cfg.fast, cfg.slow
+    fast_lat = f.timing.access_latency("closed") + f.timing.burst_cycles(64)
+    slow_lat = (s.timing.access_latency("closed") + s.timing.burst_cycles(64)
+                + s.link_latency)
+    assert slow_lat > 1.7 * fast_lat
+
+
+def test_controller_handles_interleaved_classes_same_block():
+    """CPU and GPU touching the same physical block (shared page) is legal:
+    the block belongs to whichever class migrated it."""
+    cfg = default_system()
+    eq = EventQueue()
+    stats = Stats()
+    ctrl = HybridMemoryController(cfg, eq, stats, NoPartitionPolicy())
+    done = []
+    ctrl.access("cpu", 0, False, lambda: done.append("cpu"))
+    eq.run()
+    ctrl.access("gpu", 64, False, lambda: done.append("gpu"))
+    eq.run()
+    ctrl.flush_stats()
+    assert done == ["cpu", "gpu"]
+    assert stats.get("gpu.fast_hits") == 1  # hits the CPU-migrated block
+
+
+def test_zero_remap_latency_config():
+    from dataclasses import replace
+    cfg = default_system()
+    cfg = replace(cfg, hybrid=replace(cfg.hybrid, remap_sram_latency=0.0))
+    eq = EventQueue()
+    ctrl = HybridMemoryController(cfg, eq, Stats(), NoPartitionPolicy())
+    done = []
+    ctrl.access("cpu", 0, False, lambda: done.append(eq.now))
+    eq.run()
+    assert done and done[0] > 0
+
+
+def test_single_channel_tiers():
+    from dataclasses import replace
+    cfg = default_system()
+    cfg = replace(cfg, fast=hbm2e(channels=1), slow=ddr4(channels=1))
+    eq = EventQueue()
+    ctrl = HybridMemoryController(cfg, eq, Stats(), NoPartitionPolicy())
+    done = []
+    for i in range(10):
+        ctrl.access("gpu", i * 64, False, lambda: done.append(1))
+    eq.run()
+    assert len(done) == 10

@@ -1,0 +1,70 @@
+"""Tests for energy accounting and the stats registry."""
+
+import pytest
+
+from repro.config import ddr4, hbm2e
+from repro.engine.stats import Stats, weighted_ipc
+from repro.mem.energy import (STATIC_NJ_PER_CYCLE, EnergyBreakdown,
+                              energy_breakdown, tier_dynamic_nj)
+
+
+def test_stats_add_get():
+    s = Stats()
+    s.add("cpu.fast_hits", 3)
+    s.add("cpu.fast_hits")
+    assert s.get("cpu.fast_hits") == 4
+    assert s.get("missing") == 0.0
+
+
+def test_stats_snapshot_delta():
+    s = Stats()
+    s.add("x", 5)
+    snap = s.snapshot()
+    s.add("x", 2)
+    s.add("y", 1)
+    d = s.delta(snap)
+    assert d == {"x": 2, "y": 1}
+
+
+def test_stats_hit_rate():
+    s = Stats()
+    assert s.hit_rate("cpu") == 0.0
+    s.add("cpu.fast_hits", 3)
+    s.add("cpu.fast_misses", 1)
+    assert s.hit_rate("cpu") == pytest.approx(0.75)
+
+
+def test_weighted_ipc():
+    assert weighted_ipc(2.0, 3.0, 12.0, 1.0) == pytest.approx(27.0)
+
+
+def test_tier_dynamic_energy():
+    s = Stats()
+    s.add("slow.bytes_read", 1024)
+    s.add("slow.bytes_written", 1024)
+    s.add("slow.activations", 10)
+    cfg = ddr4()
+    nj = tier_dynamic_nj(s, cfg, "slow")
+    expected = cfg.energy.access_nj(2048) + 10 * 15.0
+    assert nj == pytest.approx(expected)
+
+
+def test_energy_breakdown_totals():
+    s = Stats()
+    s.add("fast.bytes_read", 4096)
+    s.add("slow.bytes_written", 4096)
+    e = energy_breakdown(s, hbm2e(), ddr4(), elapsed_cycles=1000.0)
+    assert isinstance(e, EnergyBreakdown)
+    assert e.fast_static_nj == pytest.approx(
+        STATIC_NJ_PER_CYCLE["fast"] * 1000)
+    assert e.slow_static_nj == pytest.approx(
+        STATIC_NJ_PER_CYCLE["slow"] * 1000)
+    assert e.total_nj == pytest.approx(e.dynamic_nj + e.static_nj)
+    # DDR dynamic energy per byte is higher than HBM's (33 vs 6.4 pJ/bit).
+    assert e.slow_dynamic_nj > e.fast_dynamic_nj
+
+
+def test_slow_tier_energy_dominates_per_byte():
+    """The core premise of Fig. 6: moving bytes on DDR costs ~5x HBM."""
+    ratio = ddr4().energy.rw_pj_per_bit / hbm2e().energy.rw_pj_per_bit
+    assert ratio > 4.0

@@ -1,0 +1,94 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.engine.events import EventQueue
+
+
+def test_events_fire_in_time_order():
+    eq = EventQueue()
+    log = []
+    eq.schedule(5.0, log.append, "b")
+    eq.schedule(1.0, log.append, "a")
+    eq.schedule(9.0, log.append, "c")
+    eq.run()
+    assert log == ["a", "b", "c"]
+    assert eq.now == 9.0
+
+
+def test_same_time_events_fifo():
+    eq = EventQueue()
+    log = []
+    for i in range(10):
+        eq.schedule(3.0, log.append, i)
+    eq.run()
+    assert log == list(range(10))
+
+
+def test_after_is_relative():
+    eq = EventQueue()
+    log = []
+    eq.schedule(10.0, lambda: eq.after(5.0, lambda: log.append(eq.now)))
+    eq.run()
+    assert log == [15.0]
+
+
+def test_cannot_schedule_in_past():
+    eq = EventQueue()
+    eq.schedule(5.0, lambda: None)
+    eq.run()
+    with pytest.raises(ValueError):
+        eq.schedule(1.0, lambda: None)
+
+
+def test_run_until_stops_before_future_events():
+    eq = EventQueue()
+    log = []
+    eq.schedule(1.0, log.append, 1)
+    eq.schedule(100.0, log.append, 2)
+    n = eq.run(until=50.0)
+    assert n == 1 and log == [1]
+    assert eq.now == 50.0
+    eq.run()
+    assert log == [1, 2]
+
+
+def test_stop_predicate():
+    eq = EventQueue()
+    log = []
+    for i in range(10):
+        eq.schedule(float(i), log.append, i)
+    eq.run(stop=lambda: len(log) >= 3)
+    assert log == [0, 1, 2]
+
+
+def test_events_can_schedule_events():
+    eq = EventQueue()
+    log = []
+
+    def chain(n):
+        log.append(n)
+        if n < 5:
+            eq.after(1.0, chain, n + 1)
+
+    eq.schedule(0.0, chain, 0)
+    eq.run()
+    assert log == [0, 1, 2, 3, 4, 5]
+    assert eq.now == 5.0
+
+
+def test_step_returns_false_when_empty():
+    eq = EventQueue()
+    assert not eq.step()
+    eq.schedule(1.0, lambda: None)
+    assert eq.step()
+    assert not eq.step()
+
+
+def test_max_events():
+    eq = EventQueue()
+    log = []
+    for i in range(10):
+        eq.schedule(float(i), log.append, i)
+    eq.run(max_events=4)
+    assert log == [0, 1, 2, 3]

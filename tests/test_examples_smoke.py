@@ -1,0 +1,34 @@
+"""Smoke test: the example scripts run end-to-end.
+
+Only the fastest example is executed as a subprocess (full pipeline,
+~10 s); the rest share the same code paths already covered by unit and
+figure-driver tests, and importing them verifies they at least parse.
+"""
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def test_all_examples_parse():
+    scripts = sorted(EXAMPLES.glob("*.py"))
+    assert len(scripts) >= 6
+    for script in scripts:
+        spec = importlib.util.spec_from_file_location(script.stem, script)
+        module = importlib.util.module_from_spec(spec)
+        # Import executes top-level code only (all work is under main()).
+        spec.loader.exec_module(module)
+        assert hasattr(module, "main"), script.name
+
+
+def test_trace_pipeline_example_runs(tmp_path):
+    out = subprocess.run(
+        [sys.executable, str(EXAMPLES / "trace_pipeline.py"),
+         str(tmp_path / "traces")],
+        capture_output=True, text=True, timeout=300)
+    assert out.returncode == 0, out.stderr
+    assert "simulated reloaded mix" in out.stdout
+    assert (tmp_path / "traces").exists()

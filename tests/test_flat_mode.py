@@ -1,0 +1,97 @@
+"""Tests for the flat-mode organization (Section IV-F)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import default_system
+from repro.core.hydrogen import HydrogenPolicy
+from repro.engine.events import EventQueue
+from repro.engine.simulator import simulate
+from repro.engine.stats import Stats
+from repro.hybrid.controller import HybridMemoryController
+from repro.hybrid.policies.nopart import NoPartitionPolicy
+from repro.traces.mixes import build_mix
+
+
+def flat_cfg():
+    cfg = default_system()
+    return replace(cfg, hybrid=replace(cfg.hybrid, mode="flat"))
+
+
+def make(policy=None):
+    cfg = flat_cfg()
+    eq = EventQueue()
+    stats = Stats()
+    ctrl = HybridMemoryController(cfg, eq, stats, policy or NoPartitionPolicy())
+    return cfg, eq, stats, ctrl
+
+
+def access(ctrl, eq, klass, addr, wr=False):
+    done = []
+    ctrl.access(klass, addr, wr, lambda: done.append(eq.now))
+    eq.run()
+    return done[0]
+
+
+def test_first_touch_fills_free_ways():
+    cfg, eq, stats, ctrl = make()
+    access(ctrl, eq, "cpu", 0)
+    assert ctrl.store.occupancy() == 1
+    ctrl.flush_stats()
+    # First touch migrates (a flat-mode placement), costing 2 tokens.
+    assert stats.get("cpu.migrations") == 1
+    assert stats.get("cpu.migration_tokens") == 2
+
+
+def test_swap_always_writes_victim_back():
+    """Flat-mode displacement always transfers the victim to the slow tier
+    (it is the only copy), even when clean."""
+    cfg, eq, stats, ctrl = make()
+    stride = cfg.hybrid.block * cfg.num_sets
+    for i in range(cfg.hybrid.assoc + 1):
+        access(ctrl, eq, "cpu", i * stride)  # reads only: victims are clean
+    ctrl.flush_stats()
+    assert stats.get("cpu.writebacks") == 1
+    # Swap traffic includes a fast-tier read of the victim.
+    assert stats.get("fast.bytes_read") >= cfg.hybrid.block
+
+
+def test_flat_mode_hit_after_placement():
+    cfg, eq, stats, ctrl = make()
+    t_miss = access(ctrl, eq, "gpu", 0)
+    t0 = eq.now
+    t_hit = access(ctrl, eq, "gpu", 64) - t0
+    assert t_hit < t_miss
+    ctrl.flush_stats()
+    assert stats.get("gpu.fast_hits") == 1
+
+
+def test_flat_mode_tokens_always_cost_two():
+    cfg = flat_cfg()
+    pol = HydrogenPolicy.dp_token(tok_frac=1.0)
+    eq = EventQueue()
+    stats = Stats()
+    ctrl = HybridMemoryController(cfg, eq, stats, pol)
+    for i in range(10):
+        access(ctrl, eq, "gpu", i * cfg.hybrid.block)
+    ctrl.flush_stats()
+    migs = stats.get("gpu.migrations")
+    assert migs > 0
+    assert stats.get("gpu.migration_tokens") == 2 * migs
+
+
+def test_flat_vs_cache_mode_slow_traffic():
+    """Flat-mode swaps are bidirectional: more slow bytes per migration
+    than cache mode's refill-only path (the paper's 'more cautious' note)."""
+    mix = build_mix("C2", cpu_refs=2500, gpu_refs=15_000, seed=5)
+    cache_res = simulate(default_system(), NoPartitionPolicy(), mix)
+    flat_res = simulate(flat_cfg(), NoPartitionPolicy(), mix)
+
+    def slow_bytes_per_migration(r):
+        migs = r.stats["cpu.migrations"] + r.stats["gpu.migrations"]
+        return (r.stats["slow.bytes_read"]
+                + r.stats["slow.bytes_written"]) / max(1, migs)
+
+    assert slow_bytes_per_migration(flat_res) > \
+        slow_bytes_per_migration(cache_res)

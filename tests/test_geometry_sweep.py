@@ -1,0 +1,63 @@
+"""Tests that every Fig. 11 geometry builds a consistent, runnable system."""
+
+import pytest
+
+from repro.config import default_system
+from repro.core.hydrogen import HydrogenPolicy
+from repro.engine.simulator import simulate
+from repro.experiments.designs import make_policy
+from repro.traces.mixes import build_mix
+
+GEOMETRIES = [(a, b) for a in (1, 4, 16) for b in (64, 256, 2048)]
+
+
+@pytest.mark.parametrize("assoc,block", GEOMETRIES)
+def test_geometry_builds(assoc, block):
+    cfg = default_system().with_geometry(assoc=assoc, block=block)
+    assert cfg.num_sets * assoc * block == cfg.fast.capacity
+    assert cfg.num_sets >= 1
+
+
+@pytest.mark.parametrize("assoc,block", [(1, 64), (4, 2048), (16, 256)])
+def test_geometry_runs_hydrogen(assoc, block):
+    cfg = default_system().with_geometry(assoc=assoc, block=block)
+    mix = build_mix("C1", cpu_refs=800, gpu_refs=4000, seed=2)
+    res = simulate(cfg, HydrogenPolicy.full(), mix)
+    assert res.cpu_cycles > 0 and res.gpu_cycles > 0
+    assert 0 <= res.hit_rate("cpu") <= 1
+
+
+@pytest.mark.parametrize("assoc,block", [(1, 64), (16, 2048)])
+def test_geometry_runs_baselines(assoc, block):
+    cfg = default_system().with_geometry(assoc=assoc, block=block)
+    mix = build_mix("C5", cpu_refs=600, gpu_refs=3000, seed=2)
+    for design in ("hashcache", "profess"):
+        pol = make_policy(design)
+        res = simulate(cfg, pol, mix)  # sweep geometry, no override
+        assert res.cpu_cycles > 0, (design, assoc, block)
+
+
+def test_block_size_spatial_hits_scale():
+    """Bigger blocks earn more spatial hits per migration for streaming
+    traffic (the trade Fig. 11's B-axis explores)."""
+    mix = build_mix("C5", cpu_refs=600, gpu_refs=8000, seed=3)
+
+    def gpu_hit(block):
+        cfg = default_system().with_geometry(block=block)
+        res = simulate(cfg, make_policy("baseline"), mix)
+        return res.hit_rate("gpu")
+
+    assert gpu_hit(1024) > gpu_hit(64)
+
+
+def test_migration_traffic_scales_with_block():
+    mix = build_mix("C5", cpu_refs=600, gpu_refs=8000, seed=3)
+
+    def slow_bytes(block):
+        cfg = default_system().with_geometry(block=block)
+        res = simulate(cfg, make_policy("baseline"), mix)
+        return (res.stats["slow.bytes_read"]
+                + res.stats["slow.bytes_written"]) / res.elapsed
+
+    # Per-cycle slow traffic grows with migration granularity.
+    assert slow_bytes(2048) > slow_bytes(256) * 0.8

@@ -1,0 +1,185 @@
+"""Tests for the Hydrogen policy (Section IV) against a live controller."""
+
+import pytest
+
+from repro.config import default_system
+from repro.core.hydrogen import HydrogenPolicy, _min_cap
+from repro.engine.events import EventQueue
+from repro.engine.stats import Stats
+from repro.hybrid.controller import HybridMemoryController
+from repro.hybrid.setassoc import HITS
+
+
+def attach(pol, cfg=None):
+    cfg = cfg or default_system()
+    eq = EventQueue()
+    ctrl = HybridMemoryController(cfg, eq, Stats(), pol)
+    return cfg, eq, ctrl
+
+
+def test_variants_wiring():
+    dp = HydrogenPolicy.dp()
+    assert dp.name == "hydrogen-dp"
+    assert not dp.enable_tokens and not dp.enable_tuner
+    dpt = HydrogenPolicy.dp_token()
+    assert dpt.enable_tokens and not dpt.enable_tuner
+    full = HydrogenPolicy.full()
+    assert full.enable_tokens and full.enable_tuner
+
+
+def test_attach_builds_components():
+    pol = HydrogenPolicy.full()
+    attach(pol)
+    assert pol.map is not None and pol.map.cap == 3 and pol.map.bw == 1
+    assert pol.faucet is not None
+    assert pol.tuner is not None
+
+
+def test_dp_default_matches_paper_heuristic():
+    """75% fast bandwidth and 25% capacity to the GPU (Section VI-B)."""
+    pol = HydrogenPolicy.dp()
+    attach(pol)
+    # GPU bandwidth share: 3 of 4 channels are shared.
+    assert pol.map.bw == 1
+    # GPU capacity share: 1 of 4 ways.
+    assert pol.map.cap == 3
+
+
+def test_invalid_swap_mode():
+    with pytest.raises(ValueError):
+        HydrogenPolicy(swap_mode="sometimes")
+
+
+def test_cpu_migrations_never_token_limited():
+    pol = HydrogenPolicy.dp_token(tok_frac=0.0)
+    attach(pol)
+    pol.faucet.tokens = 0
+    assert pol.allow_migration("cpu", 1, 2, False)
+    assert not pol.allow_migration("gpu", 1, 2, False)
+
+
+def test_faucet_refill_follows_gpu_traffic():
+    pol = HydrogenPolicy.dp_token(tok_frac=0.5)
+    cfg, eq, ctrl = attach(pol)
+    pol.faucet.tokens = 0
+    ctrl.stats.add("gpu.accesses", 1000)
+    pol.on_faucet(now=1000.0)
+    assert pol.faucet.tokens == pytest.approx(500.0)
+
+
+def test_tuner_reconfig_changes_map_and_generation():
+    pol = HydrogenPolicy.full()
+    attach(pol)
+    gen = pol.generation
+    pol._apply({"cap": 2, "bw": 1, "tok": 0.25})
+    assert pol.map.cap == 2
+    assert pol.generation == gen + 1
+    assert pol.faucet.frac == 0.25
+    # No-op apply does not bump the generation.
+    pol._apply({"cap": 2, "bw": 1, "tok": 0.25})
+    assert pol.generation == gen + 1
+
+
+def test_ownership_respected_by_eligibility():
+    pol = HydrogenPolicy.dp()
+    cfg, eq, ctrl = attach(pol)
+    for s in range(50):
+        cpu_ways = set(pol.eligible_ways(s, "cpu"))
+        gpu_ways = set(pol.eligible_ways(s, "gpu"))
+        assert cpu_ways.isdisjoint(gpu_ways)
+        assert len(cpu_ways) + len(gpu_ways) == cfg.hybrid.assoc
+
+
+def test_swap_promotes_hot_shared_block():
+    pol = HydrogenPolicy.dp(swap_threshold=2)
+    cfg, eq, ctrl = attach(pol)
+    m = pol.map
+    # Find a set and a CPU-owned shared way.
+    for s in range(200):
+        shared_cpu = [w for w in m.ways_of(s, "cpu")
+                      if m.channel(s, w) >= m.bw]
+        ded = m.dedicated_cpu_ways(s)
+        if shared_cpu and ded:
+            break
+    way = shared_cpu[0]
+    ctrl.store.insert(s, way, 777, "cpu", False, 0.0, 0)
+    entry = ctrl.store.entry(s, way)
+    entry[HITS] = 5
+    target = pol.on_fast_hit(s, way, entry, klass="cpu")
+    assert target in ded
+
+
+def test_swap_skips_cold_blocks_and_gpu():
+    pol = HydrogenPolicy.dp(swap_threshold=2)
+    cfg, eq, ctrl = attach(pol)
+    entry = [1, False, "cpu", 0.0, 0, 0]  # zero hits
+    assert pol.on_fast_hit(3, 1, entry, "cpu") is None
+    entry[HITS] = 10
+    assert pol.on_fast_hit(3, 1, entry, "gpu") is None
+
+
+def test_swap_hysteresis_blocks_pingpong():
+    pol = HydrogenPolicy.dp(swap_threshold=2)
+    cfg, eq, ctrl = attach(pol)
+    m = pol.map
+    for s in range(200):
+        shared_cpu = [w for w in m.ways_of(s, "cpu")
+                      if m.channel(s, w) >= m.bw]
+        ded = m.dedicated_cpu_ways(s)
+        if shared_cpu and ded:
+            break
+    # Dedicated way holds a block as hot as the candidate: no swap.
+    ctrl.store.insert(s, ded[0], 888, "cpu", False, 0.0, 0)
+    ctrl.store.entry(s, ded[0])[HITS] = 5
+    ctrl.store.insert(s, shared_cpu[0], 777, "cpu", False, 0.0, 0)
+    entry = ctrl.store.entry(s, shared_cpu[0])
+    entry[HITS] = 5
+    assert pol.on_fast_hit(s, shared_cpu[0], entry, "cpu") is None
+
+
+def test_ideal_modes_set_controller_flags():
+    pol = HydrogenPolicy.full(swap_mode="ideal", ideal_reconfig=True)
+    cfg, eq, ctrl = attach(pol)
+    assert ctrl.ideal_swap and ctrl.ideal_reconfig
+
+
+def test_min_cap():
+    assert _min_cap(0, 4, 4) == 0
+    assert _min_cap(1, 4, 4) == 1
+    assert _min_cap(3, 4, 4) == 3
+    assert _min_cap(1, 4, 2) == 2
+
+
+def test_direct_mapped_uses_set_partition_analog():
+    cfg = default_system().with_geometry(assoc=1)
+    pol = HydrogenPolicy.full()
+    attach(pol, cfg)
+    assert pol.cap_units == cfg.fast.channels
+    owners = {pol.way_owner(s, 0) for s in range(200)}
+    assert owners == {"cpu", "gpu"}  # sets split between classes
+
+
+def test_per_channel_token_variant():
+    pol = HydrogenPolicy.dp_token(per_channel_tokens=True)
+    cfg, eq, ctrl = attach(pol)
+    from repro.core.tokens import PerChannelFaucets
+    assert isinstance(pol.faucet, PerChannelFaucets)
+    assert pol.allow_migration("gpu", 0, 1, False)
+
+
+def test_describe_fields():
+    pol = HydrogenPolicy.full()
+    attach(pol)
+    d = pol.describe()
+    assert d["policy"] == "hydrogen"
+    assert {"cap", "bw", "tok", "tuner_steps", "converged"} <= set(d)
+
+
+def test_metadata_overhead_matches_paper():
+    """Section IV-F: one alloc bit per block = 0.049% of the fast memory."""
+    from repro.core.hydrogen import metadata_overhead
+    cost = metadata_overhead(default_system())
+    assert cost["overhead_frac"] == pytest.approx(1 / (256 * 8))
+    assert abs(cost["overhead_frac"] - 0.00049) < 0.0001
+    assert cost["alloc_bits"] == default_system().fast.capacity // 256
+    assert sum(cost["registers"].values()) < 16  # "only minor changes"

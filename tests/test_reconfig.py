@@ -1,0 +1,106 @@
+"""Tests for reconfiguration (Section IV-D): Reconfigurator + lazy moves."""
+
+import pytest
+
+from repro.config import default_system
+from repro.core.hydrogen import HydrogenPolicy
+from repro.core.partition import DecoupledMap
+from repro.core.reconfig import Reconfigurator, estimate_relocations
+from repro.engine.events import EventQueue
+from repro.engine.stats import Stats
+from repro.hybrid.controller import HybridMemoryController
+
+
+def attach(pol):
+    cfg = default_system()
+    eq = EventQueue()
+    stats = Stats()
+    ctrl = HybridMemoryController(cfg, eq, stats, pol)
+    return cfg, eq, stats, ctrl
+
+
+def test_apply_changes_map_and_bumps_generation():
+    pol = HydrogenPolicy.dp()
+    attach(pol)
+    r = Reconfigurator(pol)
+    gen = pol.generation
+    assert r.apply(cap=2, bw=1)
+    assert pol.map.cap == 2 and pol.generation == gen + 1
+    assert r.reconfigurations == 1
+
+
+def test_apply_noop_is_free():
+    pol = HydrogenPolicy.dp()
+    attach(pol)
+    r = Reconfigurator(pol)
+    gen = pol.generation
+    assert not r.apply(cap=pol.map.cap, bw=pol.map.bw)
+    assert pol.generation == gen
+
+
+def test_apply_preserves_cap_units():
+    pol = HydrogenPolicy.dp()
+    cfg, eq, stats, ctrl = attach(pol)
+    units = pol.map.cap_units
+    pol.reconfigurator.apply(cap=2, bw=2)
+    assert pol.map.cap_units == units
+
+
+def test_reconfig_counter_in_stats():
+    pol = HydrogenPolicy.dp()
+    cfg, eq, stats, ctrl = attach(pol)
+    pol.reconfigurator.apply(cap=2, bw=1)
+    assert stats.get("reconfig.count") == 1
+
+
+def test_estimate_relocations_zero_for_same_map():
+    m = DecoupledMap(4, 4, 3, 1)
+    assert estimate_relocations(m, m, 256) == 0.0
+
+
+def test_estimate_relocations_single_step_small():
+    a = DecoupledMap(4, 4, 2, 1)
+    b = DecoupledMap(4, 4, 3, 1)
+    assert estimate_relocations(a, b, 1024) == pytest.approx(1.0)
+
+
+def test_lazy_reconfig_end_to_end():
+    """After a cap change, blocks in ways that changed owner are lazily
+    invalidated on their next touch, and the system keeps running."""
+    pol = HydrogenPolicy.dp()
+    cfg, eq, stats, ctrl = attach(pol)
+
+    done = []
+    def access(klass, addr, wr=False):
+        ctrl.access(klass, addr, wr, lambda: done.append(eq.now))
+        eq.run()
+
+    # Warm a GPU block into its (single) GPU way in many sets.
+    blk = cfg.hybrid.block
+    for i in range(64):
+        access("gpu", i * blk)
+    # Take all capacity for the CPU: every GPU way flips owner.
+    pol.reconfigurator.apply(cap=4, bw=1)
+    for i in range(64):
+        access("gpu", i * blk)  # hits, then lazy invalidation
+    ctrl.flush_stats()
+    assert stats.get("reconfig.lazy_invalidations") > 0
+    # The GPU can no longer insert anywhere.
+    assert ctrl.store.occupancy_by_class()["gpu"] == 0
+
+
+def test_ideal_reconfig_skips_lazy_cost():
+    pol = HydrogenPolicy.dp(ideal_reconfig=True)
+    cfg, eq, stats, ctrl = attach(pol)
+    done = []
+    def access(klass, addr):
+        ctrl.access(klass, addr, False, lambda: done.append(eq.now))
+        eq.run()
+    blk = cfg.hybrid.block
+    for i in range(32):
+        access("gpu", i * blk)
+    pol.reconfigurator.apply(cap=4, bw=1)
+    for i in range(32):
+        access("gpu", i * blk)
+    ctrl.flush_stats()
+    assert stats.get("reconfig.lazy_invalidations") == 0

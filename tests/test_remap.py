@@ -1,0 +1,47 @@
+"""Tests for the remap table cache."""
+
+import pytest
+
+from repro.hybrid.remap import RemapCache, metadata_channel
+
+
+def test_probe_miss_then_hit():
+    rc = RemapCache(4)
+    assert not rc.probe(1)
+    assert rc.probe(1)
+    assert rc.hits == 1 and rc.misses == 1
+    assert rc.hit_rate == pytest.approx(0.5)
+
+
+def test_lru_eviction():
+    rc = RemapCache(2)
+    rc.probe(1)
+    rc.probe(2)
+    rc.probe(1)      # 1 is now MRU
+    rc.probe(3)      # evicts 2
+    assert rc.probe(1)
+    assert not rc.probe(2)
+
+
+def test_capacity_bound():
+    rc = RemapCache(8)
+    for i in range(100):
+        rc.probe(i)
+    assert len(rc) == 8
+
+
+def test_invalidate_all():
+    rc = RemapCache(4)
+    rc.probe(1)
+    rc.invalidate_all()
+    assert not rc.probe(1)
+
+
+def test_needs_capacity():
+    with pytest.raises(ValueError):
+        RemapCache(0)
+
+
+def test_metadata_channel_interleaves():
+    chans = {metadata_channel(s, 4) for s in range(16)}
+    assert chans == {0, 1, 2, 3}

@@ -1,0 +1,60 @@
+"""Tests for the decoupled set-partitioning variant (Section IV-F)."""
+
+import pytest
+
+from repro.config import default_system
+from repro.engine.events import EventQueue
+from repro.engine.stats import Stats
+from repro.engine.simulator import simulate
+from repro.hybrid.controller import HybridMemoryController
+from repro.hybrid.policies.setpart import SetPartitionPolicy
+from repro.traces.mixes import build_mix
+
+
+def attach(pol):
+    cfg = default_system()
+    ctrl = HybridMemoryController(cfg, EventQueue(), Stats(), pol)
+    return cfg, ctrl
+
+
+def test_sets_interleave_channels():
+    pol = SetPartitionPolicy()
+    cfg, ctrl = attach(pol)
+    assert {pol.set_channel(s) for s in range(8)} == {0, 1, 2, 3}
+    # Every way of a set lives on the set's channel.
+    for s in range(8):
+        assert {pol.way_channel(s, w) for w in range(4)} == {pol.set_channel(s)}
+
+
+def test_whole_set_ownership():
+    pol = SetPartitionPolicy(cap_frac=0.75, bw=1)
+    cfg, ctrl = attach(pol)
+    owners = [pol.set_owner(s) for s in range(cfg.num_sets)]
+    cpu_frac = owners.count("cpu") / len(owners)
+    assert 0.65 < cpu_frac < 0.85  # ~75% of sets (and capacity) to the CPU
+    # Dedicated-channel sets always belong to the CPU.
+    for s in range(256):
+        if pol.set_channel(s) < pol.bw:
+            assert pol.set_owner(s) == "cpu"
+
+
+def test_eligibility_all_or_nothing():
+    pol = SetPartitionPolicy()
+    cfg, ctrl = attach(pol)
+    for s in range(64):
+        cpu_e = pol.eligible_ways(s, "cpu")
+        gpu_e = pol.eligible_ways(s, "gpu")
+        assert (len(cpu_e) == 4 and gpu_e == ()) or \
+               (cpu_e == () and len(gpu_e) == 4)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        SetPartitionPolicy(cap_frac=1.5)
+
+
+def test_end_to_end_run():
+    mix = build_mix("C2", cpu_refs=800, gpu_refs=5000)
+    res = simulate(default_system(), SetPartitionPolicy(), mix)
+    assert res.cpu_cycles > 0 and res.gpu_cycles > 0
+    assert res.hit_rate("cpu") > 0

@@ -1,0 +1,77 @@
+"""Tests for the token-based migration throttle (Section IV-B)."""
+
+import pytest
+
+from repro.core.tokens import (DEFAULT_TOKEN_FRAC, TOKEN_LEVELS,
+                               PerChannelFaucets, TokenFaucet)
+
+
+def test_consume_until_empty():
+    f = TokenFaucet(frac=0.5, initial=3)
+    assert f.try_consume(1)
+    assert f.try_consume(2)
+    assert not f.try_consume(1)
+    assert f.denied == 1 and f.granted == 2
+
+
+def test_dirty_migration_costs_two():
+    f = TokenFaucet(initial=2)
+    assert f.try_consume(2)  # refill + dirty writeback
+    assert not f.try_consume(1)
+
+
+def test_refill_is_fraction_of_observed():
+    f = TokenFaucet(frac=0.1, initial=0)
+    f.observe(1000)
+    added = f.refill()
+    assert added == pytest.approx(100.0)
+    assert f.tokens == pytest.approx(100.0)
+    # observation window resets
+    assert f.refill() == pytest.approx(0.0)
+
+
+def test_refill_banking_is_capped():
+    f = TokenFaucet(frac=0.5, initial=0, bank_cap_mult=2.0)
+    for _ in range(10):
+        f.observe(100)
+        f.refill()
+    assert f.tokens <= 100.0  # 2 * (0.5*100)
+
+
+def test_zero_frac_denies_everything_after_initial():
+    f = TokenFaucet(frac=0.0, initial=0)
+    f.observe(10_000)
+    f.refill()
+    assert not f.try_consume(1)
+
+
+def test_negative_frac_rejected():
+    with pytest.raises(ValueError):
+        TokenFaucet(frac=-0.1)
+
+
+def test_token_levels_ordered_and_default_present():
+    assert list(TOKEN_LEVELS) == sorted(TOKEN_LEVELS)
+    assert DEFAULT_TOKEN_FRAC in TOKEN_LEVELS
+
+
+def test_per_channel_independence():
+    pc = PerChannelFaucets(2, frac=0.5, initial=4)  # 2 tokens per channel
+    assert pc.try_consume(0, 2)
+    assert not pc.try_consume(0, 1)  # channel 0 drained
+    assert pc.try_consume(1, 1)      # channel 1 untouched
+    assert pc.denied == 1 and pc.granted == 2
+
+
+def test_per_channel_frac_setter():
+    pc = PerChannelFaucets(4)
+    pc.frac = 0.25
+    assert all(f.frac == 0.25 for f in pc.faucets)
+    assert pc.frac == 0.25
+
+
+def test_per_channel_refill():
+    pc = PerChannelFaucets(2, frac=0.5, initial=0)
+    pc.observe(0, 100)
+    pc.observe(1, 100)
+    assert pc.refill() == pytest.approx(100.0)

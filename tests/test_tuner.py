@@ -1,0 +1,100 @@
+"""Tests for the epoch-based hill-climbing tuner (Section IV-C)."""
+
+import pytest
+
+from repro.core.tuner import HillClimber, ParamSpace
+
+
+def space(valid=None):
+    return ParamSpace({"cap": (0, 1, 2, 3, 4), "bw": (0, 1, 2, 3)},
+                      is_valid=valid or (lambda c: True))
+
+
+def drive(hc, score_fn, epochs=100):
+    """Feed the climber the score of whatever config is active."""
+    applied = hc.current
+    history = [dict(applied)]
+    for _ in range(epochs):
+        nxt = hc.on_epoch(score_fn(applied))
+        if nxt is not None:
+            applied = nxt
+            history.append(dict(applied))
+        if hc.converged and nxt is None:
+            break
+    return applied, history
+
+
+def test_climbs_to_unimodal_optimum():
+    hc = HillClimber(space(), {"cap": 0, "bw": 0}, eps=0.01)
+    # Unimodal bowl with optimum at cap=3, bw=2.
+    score = lambda c: 100 - (c["cap"] - 3) ** 2 - (c["bw"] - 2) ** 2
+    final, _ = drive(hc, score)
+    assert hc.converged
+    assert hc.current == {"cap": 3, "bw": 2}
+
+
+def test_holds_after_convergence():
+    hc = HillClimber(space(), {"cap": 2, "bw": 1}, eps=0.01)
+    score = lambda c: 10.0  # flat: nothing is ever better
+    drive(hc, score)
+    assert hc.converged
+    assert hc.current == {"cap": 2, "bw": 1}
+    # Further epochs return None (hold).
+    assert hc.on_epoch(10.0) is None
+
+
+def test_noise_margin_rejects_small_gains():
+    hc = HillClimber(space(), {"cap": 2, "bw": 1}, eps=0.10)
+    score = lambda c: 10.0 + 0.1 * c["cap"]  # only ~1% per step
+    drive(hc, score)
+    assert hc.current["cap"] == 2  # gains below eps not taken
+
+
+def test_validity_constraint_respected():
+    valid = lambda c: c["cap"] >= c["bw"]
+    hc = HillClimber(space(valid), {"cap": 1, "bw": 1}, eps=0.01)
+    score = lambda c: 100 - c["cap"]  # wants cap as low as possible
+    drive(hc, score)
+    assert hc.current["cap"] >= hc.current["bw"]
+
+
+def test_invalid_start_rejected():
+    with pytest.raises(ValueError):
+        HillClimber(space(lambda c: c["cap"] >= 3), {"cap": 0, "bw": 0})
+
+
+def test_reset_restarts_exploration():
+    hc = HillClimber(space(), {"cap": 0, "bw": 0}, eps=0.01)
+    drive(hc, lambda c: 100 - (c["cap"] - 2) ** 2)
+    assert hc.converged
+    hc.reset()
+    assert not hc.converged
+    # After reset it explores again and can follow a moved optimum.
+    final, _ = drive(hc, lambda c: 100 - (c["cap"] - 4) ** 2)
+    assert hc.current["cap"] == 4
+
+
+def test_steps_counted():
+    hc = HillClimber(space(), {"cap": 0, "bw": 0}, eps=0.01)
+    drive(hc, lambda c: c["cap"] + c["bw"])
+    assert hc.steps_taken > 0
+
+
+def test_momentum_keeps_direction():
+    """Accepted moves immediately retry the same direction (hill climbing
+    walks a monotone slope in consecutive steps)."""
+    hc = HillClimber(space(), {"cap": 0, "bw": 0}, eps=0.01)
+    score = lambda c: 10.0 * c["cap"]
+    _, history = drive(hc, score)
+    caps = [h["cap"] for h in history]
+    assert caps[-1] == 4
+    # The climb is monotone in cap until the boundary.
+    climbing = [c for c in caps if True]
+    assert sorted(set(climbing)) == list(range(5))
+
+
+def test_config_objects_are_copies():
+    hc = HillClimber(space(), {"cap": 2, "bw": 1})
+    c1 = hc.current
+    c1["cap"] = 99
+    assert hc.current["cap"] == 2

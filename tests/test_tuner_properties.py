@@ -1,0 +1,91 @@
+"""Property-based tests for the hill climber (Section IV-C)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tuner import HillClimber, ParamSpace
+
+
+def make_space():
+    return ParamSpace({"a": tuple(range(6)), "b": tuple(range(5))})
+
+
+def drive(hc, score_fn, epochs=400):
+    applied = hc.current
+    for _ in range(epochs):
+        nxt = hc.on_epoch(score_fn(applied))
+        if nxt is not None:
+            applied = nxt
+        if hc.converged and nxt is None:
+            break
+    return applied
+
+
+@settings(max_examples=30, deadline=None)
+@given(opt_a=st.integers(0, 5), opt_b=st.integers(0, 4),
+       start_a=st.integers(0, 5), start_b=st.integers(0, 4))
+def test_converges_to_unimodal_optimum(opt_a, opt_b, start_a, start_b):
+    hc = HillClimber(make_space(), {"a": start_a, "b": start_b}, eps=0.001,
+                     warmup_epochs=0, settle_epochs=0)
+    score = lambda c: 100.0 - (c["a"] - opt_a) ** 2 - (c["b"] - opt_b) ** 2
+    drive(hc, score)
+    assert hc.converged
+    assert hc.current == {"a": opt_a, "b": opt_b}
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_never_leaves_valid_region(seed):
+    import random
+    rng = random.Random(seed)
+    valid = lambda c: c["a"] >= c["b"]
+    space = ParamSpace({"a": tuple(range(6)), "b": tuple(range(5))},
+                       is_valid=valid)
+    hc = HillClimber(space, {"a": 2, "b": 2}, eps=0.01,
+                     warmup_epochs=0, settle_epochs=0)
+    for _ in range(200):
+        nxt = hc.on_epoch(rng.random() * 10)
+        assert valid(hc.current)
+        if nxt is not None:
+            assert valid(nxt)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_random_scores_eventually_converge_or_keep_exploring_validly(seed):
+    """Even with pure-noise scores the climber never crashes and its
+    bookkeeping stays consistent."""
+    import random
+    rng = random.Random(seed)
+    hc = HillClimber(make_space(), {"a": 3, "b": 2}, eps=0.05,
+                     warmup_epochs=2, settle_epochs=1)
+    for _ in range(300):
+        hc.on_epoch(1.0 + rng.random())
+    assert 0 <= hc.indices["a"] < 6
+    assert 0 <= hc.indices["b"] < 5
+
+
+def test_watchdog_restarts_after_score_collapse():
+    hc = HillClimber(make_space(), {"a": 3, "b": 2}, eps=0.01,
+                     warmup_epochs=0, settle_epochs=0, watchdog_drop=0.2)
+    drive(hc, lambda c: 10.0)  # flat: converges immediately
+    assert hc.converged
+    for _ in range(30):  # scores collapse while holding
+        hc.on_epoch(1.0)
+        if not hc.converged:
+            break
+    assert hc.watchdog_resets >= 1
+    assert not hc.converged  # exploring again
+
+
+def test_settle_epochs_skip_measurements():
+    hc = HillClimber(make_space(), {"a": 3, "b": 2}, eps=0.01,
+                     warmup_epochs=0, settle_epochs=3)
+    first = hc.on_epoch(10.0)  # base measured -> proposes a trial
+    assert first is not None
+    # The next 3 epochs are settle (ignored): no decision, no new config.
+    for _ in range(3):
+        assert hc.on_epoch(999.0) is None
+    # Now the trial is scored.
+    out = hc.on_epoch(20.0)
+    assert out is not None or hc.converged
