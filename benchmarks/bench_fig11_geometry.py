@@ -6,8 +6,9 @@ from repro.experiments.figures import fig11_geometry
 from repro.experiments.report import format_table
 
 
-def test_fig11_assoc_and_block_size(benchmark):
-    rows = run_once(benchmark, fig11_geometry, scale=BENCH_SCALE, seed=SEED)
+def test_fig11_assoc_and_block_size(benchmark, sweep_opts):
+    rows = run_once(benchmark, fig11_geometry, scale=BENCH_SCALE, seed=SEED,
+                    **sweep_opts)
 
     print("\nFig. 11: geometry sweep (weighted speedup vs the baseline of "
           "the same geometry):")

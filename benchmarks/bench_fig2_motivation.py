@@ -7,8 +7,9 @@ from repro.experiments.report import format_table
 from repro.experiments.runner import geomean
 
 
-def test_fig2a_corun_slowdowns(benchmark):
-    rows = run_once(benchmark, fig2_slowdowns, scale=BENCH_SCALE, seed=SEED)
+def test_fig2a_corun_slowdowns(benchmark, sweep_opts):
+    rows = run_once(benchmark, fig2_slowdowns, scale=BENCH_SCALE, seed=SEED,
+                    **sweep_opts)
 
     print("\nFig. 2(a): co-run slowdown vs running alone:")
     print(format_table(

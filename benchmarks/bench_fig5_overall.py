@@ -26,8 +26,9 @@ def _print_fig5(results, title):
     print(format_table(["mix"] + designs, rows))
 
 
-def test_fig5a_hbm2e(benchmark):
-    results = run_once(benchmark, fig5_overall, scale=BENCH_SCALE, seed=SEED)
+def test_fig5a_hbm2e(benchmark, sweep_opts):
+    results = run_once(benchmark, fig5_overall, scale=BENCH_SCALE, seed=SEED,
+                       **sweep_opts)
     _print_fig5(results, "Fig. 5(a) HBM2E")
 
     csv_path = os.path.join(os.path.dirname(__file__), "..", "perf.csv")
@@ -46,9 +47,9 @@ def test_fig5a_hbm2e(benchmark):
     assert gm["hydrogen"] > gm["hydrogen-dp"]
 
 
-def test_fig5b_hbm3(benchmark):
+def test_fig5b_hbm3(benchmark, sweep_opts):
     results = run_once(benchmark, fig5_overall, fast="hbm3",
-                       scale=BENCH_SCALE, seed=SEED)
+                       scale=BENCH_SCALE, seed=SEED, **sweep_opts)
     _print_fig5(results, "Fig. 5(b) HBM3")
     gm = {d: geomean([results[d][m].weighted_speedup for m in ALL_MIXES])
           for d in results}

@@ -7,6 +7,8 @@ Commands
 --------
 ``run``      simulate one design on one mix (or custom mix spec)
 ``compare``  run several designs on one mix, normalized to the baseline
+``sweep``    run a (mixes x designs) grid through the parallel, cached
+             sweep engine with progress reporting
 ``fig``      regenerate one of the paper's figures/tables
 ``traces``   generate and save the traces of a mix (artifact T1)
 ``config``   dump the (possibly overridden) system configuration as JSON
@@ -23,9 +25,12 @@ from repro.config import default_system, hbm3
 from repro.config_io import apply_overrides, config_from_json, config_to_json
 from repro.engine.simulator import simulate
 from repro.experiments import figures
+from repro.experiments.cache import SweepCache, resolve_cache
 from repro.experiments.designs import ALL_DESIGNS, FIG5_DESIGNS, design_config, make_policy
-from repro.experiments.report import format_table
-from repro.experiments.runner import compare_designs, weighted_speedup
+from repro.experiments.report import (PERF_HEADERS, format_sweep_stats,
+                                      format_table, perf_csv_rows, to_csv)
+from repro.experiments.runner import compare_designs, geomean, weighted_speedup
+from repro.experiments.sweep import MixSpec, SweepEngine, sweep_compare
 from repro.traces.cpu import CPU_SPECS
 from repro.traces.gpu import GPU_SPECS
 from repro.traces.io import build_custom_mix, save_mix
@@ -54,6 +59,23 @@ def _build_mix(args):
     return build_mix(args.mix, seed=args.seed, scale=args.scale)
 
 
+def _resolve_cli_cache(args, *, default_on: bool):
+    """Cache setting from --no-cache / --cache / --cache-dir flags."""
+    if getattr(args, "no_cache", False):
+        return None
+    if getattr(args, "cache_dir", None):
+        return args.cache_dir
+    if getattr(args, "cache", False) or default_on:
+        return True
+    return None
+
+
+def _sweep_kwargs(args, *, default_on: bool = False) -> dict:
+    """jobs/cache kwargs for the figure drivers and sweep helpers."""
+    return {"jobs": getattr(args, "jobs", None),
+            "cache": _resolve_cli_cache(args, default_on=default_on)}
+
+
 def cmd_run(args) -> int:
     cfg = _load_cfg(args)
     mix = _build_mix(args)
@@ -77,7 +99,7 @@ def cmd_compare(args) -> int:
     cfg = _load_cfg(args)
     mix = _build_mix(args)
     designs = tuple(args.designs.split(",")) if args.designs else FIG5_DESIGNS
-    out = compare_designs(mix, designs, cfg)
+    out = compare_designs(mix, designs, cfg, **_sweep_kwargs(args))
     rows = [[name, c.weighted_speedup, c.speedup_cpu, c.speedup_gpu,
              c.result.hit_rate("cpu"), c.result.hit_rate("gpu")]
             for name, c in out.items()]
@@ -86,21 +108,68 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def cmd_sweep(args) -> int:
+    """Run a (mixes x designs) grid through the sweep engine (cached by
+    default) and print the Fig. 5-style table plus sweep statistics."""
+    cache = resolve_cache(_resolve_cli_cache(args, default_on=True))
+    if args.clear_cache:
+        target = cache or SweepCache()
+        print(f"cleared {target.clear()} cached result(s) from {target.root}")
+        if not args.mixes and not args.designs:
+            return 0  # bare --clear-cache: don't launch the full default grid
+
+    mixes = args.mixes.split(",") if args.mixes else list(ALL_MIXES)
+    for m in mixes:
+        if m not in ALL_MIXES:
+            raise SystemExit(f"unknown mix {m!r}; sweep takes Table II names "
+                             f"({', '.join(ALL_MIXES)}); use 'run' for "
+                             f"custom 'cpu1-cpu2:gpu' specs")
+    designs = tuple(args.designs.split(",")) if args.designs else FIG5_DESIGNS
+    cfg = _load_cfg(args)
+
+    engine = SweepEngine(workers=args.jobs, cache=cache,
+                         progress=None if args.quiet else print)
+    specs = [MixSpec(m, scale=args.scale, seed=args.seed) for m in mixes]
+    results = sweep_compare(specs, designs, cfg, engine=engine)
+
+    names = list(results)
+    rows = [[m] + [results[d][m].weighted_speedup for d in names]
+            for m in mixes]
+    rows.append(["geomean"] + [
+        geomean([results[d][m].weighted_speedup for m in mixes])
+        for d in names])
+    print(format_table(["mix"] + names, rows))
+    if args.csv:
+        to_csv(PERF_HEADERS, perf_csv_rows(results), args.csv)
+        print(f"perf rows written to {args.csv}")
+    print(format_sweep_stats(engine.stats))
+    return 0
+
+
+def _fig_sweep_kwargs(a) -> dict:
+    return _sweep_kwargs(a)
+
+
 FIG_DRIVERS = {
     "table2": lambda a: figures.table2_workloads(seed=a.seed),
-    "fig2a": lambda a: figures.fig2_slowdowns(scale=a.scale, seed=a.seed),
+    "fig2a": lambda a: figures.fig2_slowdowns(scale=a.scale, seed=a.seed,
+                                              **_fig_sweep_kwargs(a)),
     "fig2bcd": lambda a: figures.fig2_sensitivity(scale=a.scale, seed=a.seed),
     "fig5": lambda a: figures.fig5_summary(
-        figures.fig5_overall(scale=a.scale, seed=a.seed)),
+        figures.fig5_overall(scale=a.scale, seed=a.seed,
+                             **_fig_sweep_kwargs(a))),
     "fig5-hbm3": lambda a: figures.fig5_summary(
-        figures.fig5_overall(fast="hbm3", scale=a.scale, seed=a.seed)),
+        figures.fig5_overall(fast="hbm3", scale=a.scale, seed=a.seed,
+                             **_fig_sweep_kwargs(a))),
     "fig6": lambda a: figures.fig6_energy(scale=a.scale, seed=a.seed),
     "fig7": lambda a: figures.fig7_overheads(scale=a.scale, seed=a.seed),
     "fig8": lambda a: figures.fig8_search(scale=a.scale, seed=a.seed),
-    "fig9": lambda a: figures.fig9_epochs(scale=a.scale, seed=a.seed),
-    "fig10": lambda a: figures.fig10_weights_cores(scale=a.scale,
-                                                   seed=a.seed),
-    "fig11": lambda a: figures.fig11_geometry(scale=a.scale, seed=a.seed),
+    "fig9": lambda a: figures.fig9_epochs(scale=a.scale, seed=a.seed,
+                                          **_fig_sweep_kwargs(a)),
+    "fig10": lambda a: figures.fig10_weights_cores(scale=a.scale, seed=a.seed,
+                                                   **_fig_sweep_kwargs(a)),
+    "fig11": lambda a: figures.fig11_geometry(scale=a.scale, seed=a.seed,
+                                              **_fig_sweep_kwargs(a)),
 }
 
 
@@ -131,8 +200,6 @@ def cmd_report(args) -> int:
     """Summarize a perf.csv produced by the Fig. 5 benchmark (task T3)."""
     import csv
     from collections import defaultdict
-
-    from repro.experiments.runner import geomean
 
     by_design = defaultdict(list)
     with open(args.csv) as fh:
@@ -173,6 +240,19 @@ def make_parser() -> argparse.ArgumentParser:
             sp.add_argument("--mix", default="C1",
                             help="C1..C12 or 'gcc-mcf:backprop'")
 
+    def sweep_opts(sp):
+        sp.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for the sweep engine "
+                             "(default $REPRO_SWEEP_JOBS or 1; 0 = all "
+                             "cores)")
+        sp.add_argument("--cache", action="store_true",
+                        help="enable the on-disk result cache "
+                             "($REPRO_CACHE_DIR or ~/.cache/repro/sweep)")
+        sp.add_argument("--cache-dir", metavar="DIR",
+                        help="enable the result cache in DIR")
+        sp.add_argument("--no-cache", action="store_true",
+                        help="disable the result cache")
+
     sp = sub.add_parser("run", help="simulate one design on one mix")
     common(sp)
     sp.add_argument("--design", default="hydrogen",
@@ -182,12 +262,30 @@ def make_parser() -> argparse.ArgumentParser:
     sp = sub.add_parser("compare", help="compare designs on one mix")
     common(sp)
     sp.add_argument("--designs", help="comma-separated design names")
+    sweep_opts(sp)
     sp.set_defaults(fn=cmd_compare)
+
+    sp = sub.add_parser(
+        "sweep", help="run a (mixes x designs) grid via the sweep engine")
+    common(sp, mix=False)
+    sp.add_argument("--mixes", help="comma-separated Table II mix names "
+                                    "(default: all 12)")
+    sp.add_argument("--designs", help="comma-separated design names "
+                                      "(default: the Fig. 5 set)")
+    sweep_opts(sp)
+    sp.add_argument("--clear-cache", action="store_true",
+                    help="empty the result cache before running")
+    sp.add_argument("--csv", metavar="PATH",
+                    help="also write artifact-style perf rows to PATH")
+    sp.add_argument("--quiet", action="store_true",
+                    help="suppress per-job progress lines")
+    sp.set_defaults(fn=cmd_sweep)
 
     sp = sub.add_parser("fig", help="regenerate a paper figure/table")
     common(sp, mix=False)
     sp.add_argument("name", help="table2, fig2a, fig2bcd, fig5, fig5-hbm3, "
                                  "fig6, fig7, fig8, fig9, fig10, fig11")
+    sweep_opts(sp)
     sp.set_defaults(fn=cmd_fig)
 
     sp = sub.add_parser("traces", help="generate and save a mix's traces")

@@ -8,6 +8,7 @@ can be version-controlled and shared without writing Python.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import asdict
 from pathlib import Path
@@ -29,6 +30,28 @@ def config_to_json(cfg: SystemConfig, path: str | Path | None = None,
     if path is not None:
         Path(path).write_text(text + "\n")
     return text
+
+
+def canonical_json(value) -> str:
+    """Deterministic JSON text: sorted keys, no whitespace.
+
+    Used wherever a *stable* textual form is needed (hashing, cache keys);
+    two equal values always produce byte-identical text.
+    """
+    return json.dumps(value, sort_keys=True, separators=(",", ":"),
+                      default=str)
+
+
+def config_digest(cfg: SystemConfig) -> str:
+    """Stable SHA-256 hex digest of a complete system configuration.
+
+    Equal configs hash equally across processes and sessions (no reliance
+    on Python's salted ``hash()``); any field change — even a nested timing
+    parameter — changes the digest.  This is the config component of the
+    sweep engine's on-disk cache key.
+    """
+    return hashlib.sha256(
+        canonical_json(config_to_dict(cfg)).encode()).hexdigest()
 
 
 def _cache(d: dict) -> CacheConfig:

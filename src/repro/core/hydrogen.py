@@ -233,6 +233,7 @@ class HydrogenPolicy(PartitionPolicy):
         if self.faucet is not None:
             d["tok"] = self.faucet.frac
             d["tokens_denied"] = self.faucet.denied
+            d["tokens_banked"] = self.faucet.tokens
         if self.tuner is not None:
             d["tuner_steps"] = self.tuner.steps_taken
             d["converged"] = self.tuner.converged

@@ -40,6 +40,11 @@ class TokenFaucet:
         self.observed = 0
         self.denied = 0
         self.granted = 0
+        #: Steady-state refill estimate (EMA over *active* periods).  The
+        #: bank cap is based on this, not on the instantaneous refill
+        #: amount: an idle period (observed == 0) must not confiscate the
+        #: tokens banked while traffic was flowing.
+        self._steady_refill = 0.0
 
     def observe(self, n: int = 1) -> None:
         """Record GPU requests seen this period (sets next refill amount)."""
@@ -55,11 +60,23 @@ class TokenFaucet:
         return False
 
     def refill(self) -> float:
-        """Periodic faucet tick; returns the amount added."""
+        """Periodic faucet tick; returns the amount added.
+
+        The bank is capped at ``bank_cap_mult`` times the *steady-state*
+        refill (an exponential moving average over periods with traffic).
+        Until the first active period there is no steady-state estimate, so
+        the initial bank is left untouched.
+        """
         amount = self.frac * self.observed
         self.observed = 0
-        cap = max(amount * self.bank_cap_mult, 1.0)
-        self.tokens = min(self.tokens + amount, cap)
+        if amount > 0:
+            self._steady_refill = (amount if self._steady_refill == 0.0
+                                   else 0.5 * (self._steady_refill + amount))
+        if self._steady_refill > 0:
+            cap = max(self._steady_refill * self.bank_cap_mult, 1.0)
+            self.tokens = min(self.tokens + amount, cap)
+        else:
+            self.tokens += amount
         return amount
 
 
@@ -96,3 +113,14 @@ class PerChannelFaucets:
     @property
     def granted(self) -> int:
         return sum(f.granted for f in self.faucets)
+
+    # Aggregate views matching TokenFaucet's attributes, so telemetry and
+    # policy describe() code can treat the two variants interchangeably.
+
+    @property
+    def tokens(self) -> float:
+        return sum(f.tokens for f in self.faucets)
+
+    @property
+    def observed(self) -> int:
+        return sum(f.observed for f in self.faucets)

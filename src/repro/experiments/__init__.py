@@ -1,8 +1,15 @@
 """Experiment harness: the design registry, runners with the artifact's
-weighted-speedup math, per-figure drivers, and report rendering."""
+weighted-speedup math, the parallel/cached sweep engine, per-figure
+drivers, and report rendering."""
 
+from repro.experiments.cache import SweepCache
 from repro.experiments.designs import ALL_DESIGNS, FIG5_DESIGNS, make_policy
-from repro.experiments.runner import compare_designs, run_mix, weighted_speedup
+from repro.experiments.runner import (compare_designs, corun_slowdowns,
+                                      run_mix, weighted_speedup)
+from repro.experiments.sweep import (MixSpec, SweepEngine, SweepJob,
+                                     sweep_compare, sweep_corun)
 
 __all__ = ["ALL_DESIGNS", "FIG5_DESIGNS", "make_policy", "compare_designs",
-           "run_mix", "weighted_speedup"]
+           "corun_slowdowns", "run_mix", "weighted_speedup", "MixSpec",
+           "SweepCache", "SweepEngine", "SweepJob", "sweep_compare",
+           "sweep_corun"]

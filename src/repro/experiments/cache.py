@@ -1,0 +1,147 @@
+"""On-disk result cache for experiment sweeps.
+
+Every figure in the paper's evaluation is a grid of independent
+``(mix, design, config)`` simulations, and most figure scripts share a
+large fraction of those cells (every comparison re-runs the same
+non-partitioned baseline).  This cache stores each :class:`SimResult`
+under a *stable* key — a SHA-256 over the canonical JSON of the full
+system configuration, the design name, the mix identity (spec or trace
+fingerprint), and the simulation kwargs — so re-running a figure script
+only simulates what actually changed.
+
+Layout: ``<root>/<key[:2]>/<key>.pkl`` (sharded to keep directories
+small).  Writes are atomic (temp file + ``os.replace``), so a crashed or
+parallel run never leaves a truncated entry; unreadable entries are
+treated as misses and deleted.
+
+The default root is ``$REPRO_CACHE_DIR`` or ``~/.cache/repro/sweep``.
+``repro sweep --clear-cache`` (or :meth:`SweepCache.clear`) empties it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+
+from repro.config_io import canonical_json
+
+#: Bump when the cached payload layout or simulator semantics change in a
+#: way that invalidates previously stored results.
+CACHE_VERSION = 1
+
+#: Environment variable overriding the default cache root.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """Cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro/sweep``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "sweep"
+
+
+def stable_key(payload: dict) -> str:
+    """SHA-256 hex digest of a JSON-able payload (canonical form)."""
+    blob = canonical_json({"cache_version": CACHE_VERSION, **payload})
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class SweepCache:
+    """Pickle-per-entry result store with hit/miss/store counters."""
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def key(self, payload: dict) -> str:
+        return stable_key(payload)
+
+    def get(self, key: str):
+        """Stored result for ``key`` or ``None`` (counts as hit/miss)."""
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as fh:
+                value = pickle.load(fh)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError):
+            # Truncated or stale entry: drop it and treat as a miss.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value) -> None:
+        """Atomically store ``value`` under ``key``."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.pkl"))
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns the number removed."""
+        removed = 0
+        if not self.root.exists():
+            return 0
+        for path in self.root.glob("*/*.pkl"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        for shard in self.root.glob("*"):
+            if shard.is_dir():
+                try:
+                    shard.rmdir()
+                except OSError:
+                    pass  # non-empty (foreign files) — leave it
+        return removed
+
+
+def resolve_cache(cache) -> SweepCache | None:
+    """Normalize the user-facing ``cache`` argument.
+
+    ``None``/``False`` -> disabled; ``True`` -> default directory;
+    ``str``/``Path`` -> that directory; a :class:`SweepCache` passes
+    through unchanged.
+    """
+    if cache is None or cache is False:
+        return None
+    if cache is True:
+        return SweepCache()
+    if isinstance(cache, SweepCache):
+        return cache
+    return SweepCache(cache)

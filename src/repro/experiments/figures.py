@@ -17,9 +17,9 @@ from repro.config import MB, SystemConfig, default_system, hbm3
 from repro.core.hydrogen import HydrogenPolicy
 from repro.engine.simulator import simulate
 from repro.experiments.designs import FIG5_DESIGNS
-from repro.experiments.runner import (ComboResult, compare_designs,
-                                      corun_slowdowns, geomean, run_mix,
-                                      weighted_speedup)
+from repro.experiments.runner import (ComboResult, compare_designs, geomean,
+                                      run_mix, weighted_speedup)
+from repro.experiments.sweep import MixSpec, sweep_compare, sweep_corun
 from repro.traces.base import characterize
 from repro.traces.mixes import ALL_MIXES, build_mix, cpu_only, gpu_only
 
@@ -49,17 +49,20 @@ def table2_workloads(*, cpu_refs: int = 10_000, gpu_refs: int = 40_000,
 
 
 def fig2_slowdowns(mixes=ALL_MIXES, *, scale: float = 1.0,
-                   cfg: SystemConfig | None = None, seed: int = 7) -> list[dict]:
-    """Fig. 2(a): co-run slowdown of CPU and GPU vs running alone."""
+                   cfg: SystemConfig | None = None, seed: int = 7,
+                   jobs: int | None = None, cache=None,
+                   progress=None) -> list[dict]:
+    """Fig. 2(a): co-run slowdown of CPU and GPU vs running alone.
+
+    All 3 x len(mixes) runs go through one sweep-engine batch; ``jobs``
+    and ``cache`` control parallelism and the on-disk result cache.
+    """
     cfg = cfg or default_system()
-    rows = []
-    for name in mixes:
-        mix = build_mix(name, scale=scale, seed=seed)
-        sd = corun_slowdowns(mix, cfg)
-        rows.append({"mix": name,
-                     "cpu_slowdown": sd["cpu_slowdown"],
-                     "gpu_slowdown": sd["gpu_slowdown"]})
-    return rows
+    sd = sweep_corun([MixSpec(n, scale=scale, seed=seed) for n in mixes],
+                     cfg, workers=jobs, cache=cache, progress=progress)
+    return [{"mix": name,
+             "cpu_slowdown": sd[name]["cpu_slowdown"],
+             "gpu_slowdown": sd[name]["gpu_slowdown"]} for name in mixes]
 
 
 def fig2_sensitivity(mix_name: str = "C1", *, scale: float = 1.0,
@@ -110,23 +113,22 @@ def fig2_sensitivity(mix_name: str = "C1", *, scale: float = 1.0,
 
 
 def fig5_overall(mixes=ALL_MIXES, *, fast: str = "hbm2e", scale: float = 1.0,
-                 designs=FIG5_DESIGNS, seed: int = 7
+                 designs=FIG5_DESIGNS, seed: int = 7, jobs: int | None = None,
+                 cache=None, progress=None
                  ) -> dict[str, dict[str, ComboResult]]:
     """Fig. 5: weighted speedups of every design on every mix.
 
-    Returns ``{design: {mix: ComboResult}}`` (the perf.csv layout).
+    The whole (mix x design) grid is one sweep-engine batch — the per-mix
+    baseline is simulated once and shared by every comparison — so
+    ``jobs > 1`` parallelizes across mixes as well as designs.  Returns
+    ``{design: {mix: ComboResult}}`` (the perf.csv layout).
     """
     cfg = default_system()
     if fast == "hbm3":
         cfg = cfg.with_fast(hbm3())
-    results: dict[str, dict[str, ComboResult]] = {d: {} for d in
-                                                  ("baseline",) + tuple(designs)}
-    for name in mixes:
-        mix = build_mix(name, scale=scale, seed=seed)
-        per_mix = compare_designs(mix, tuple(designs), cfg)
-        for design, combo in per_mix.items():
-            results[design][name] = combo
-    return results
+    return sweep_compare([MixSpec(n, scale=scale, seed=seed) for n in mixes],
+                         tuple(designs), cfg, workers=jobs, cache=cache,
+                         progress=progress)
 
 
 def fig5_summary(results: dict[str, dict[str, ComboResult]]) -> list[dict]:
@@ -236,21 +238,21 @@ def fig8_search(mix_name: str = "C5", *, scale: float = 1.0, seed: int = 7,
 
 def fig9_epochs(mixes=DEFAULT_SUBSET, *, scale: float = 1.0, seed: int = 7,
                 epoch_lengths=(2_000.0, 10_000.0, 50_000.0, 200_000.0),
-                phase_lengths=(50_000.0, 200_000.0, 400_000.0, 1_000_000.0)
+                phase_lengths=(50_000.0, 200_000.0, 400_000.0, 1_000_000.0),
+                jobs: int | None = None, cache=None, progress=None
                 ) -> dict[str, list[dict]]:
     """Fig. 9: sensitivity to sampling-epoch and phase lengths."""
     base_cfg = default_system()
+    specs = [MixSpec(n, scale=scale, seed=seed) for n in mixes]
 
     def sweep(param: str, values) -> list[dict]:
         out = []
         for v in values:
             epochs = replace(base_cfg.epochs, **{param: v})
             cfg = replace(base_cfg, epochs=epochs)
-            speeds = []
-            for name in mixes:
-                mix = build_mix(name, scale=scale, seed=seed)
-                per = compare_designs(mix, ("hydrogen",), cfg)
-                speeds.append(per["hydrogen"].weighted_speedup)
+            per = sweep_compare(specs, ("hydrogen",), cfg, workers=jobs,
+                                cache=cache, progress=progress)
+            speeds = [per["hydrogen"][n].weighted_speedup for n in mixes]
             out.append({param: v, "geomean_speedup": geomean(speeds)})
         return out
 
@@ -261,7 +263,8 @@ def fig9_epochs(mixes=DEFAULT_SUBSET, *, scale: float = 1.0, seed: int = 7,
 def fig10_weights_cores(mix_name: str = "C6", *, scale: float = 1.0,
                         seed: int = 7,
                         weight_ratios=(1, 4, 12, 32),
-                        core_counts=(4, 8, 16)) -> dict[str, list[dict]]:
+                        core_counts=(4, 8, 16), jobs: int | None = None,
+                        cache=None, progress=None) -> dict[str, list[dict]]:
     """Fig. 10: (a) CPU:GPU IPC weight sweep on C6 (slowdowns vs solo);
     (b) CPU core-count scaling (weighted speedup vs baseline)."""
     out: dict[str, list[dict]] = {"weights": [], "cores": []}
@@ -284,7 +287,8 @@ def fig10_weights_cores(mix_name: str = "C6", *, scale: float = 1.0,
         cfg = replace(base_cfg, cpu=replace(base_cfg.cpu, cores=cores),
                       weight_cpu=float(12 * copies / 2), weight_gpu=1.0)
         cmix = build_mix(mix_name, scale=scale, seed=seed, cpu_copies=copies)
-        per = compare_designs(cmix, ("profess", "hydrogen"), cfg)
+        per = compare_designs(cmix, ("profess", "hydrogen"), cfg, jobs=jobs,
+                              cache=cache, progress=progress)
         out["cores"].append({
             "cpu_cores": cores,
             "hydrogen_speedup": per["hydrogen"].weighted_speedup,
@@ -294,7 +298,8 @@ def fig10_weights_cores(mix_name: str = "C6", *, scale: float = 1.0,
 
 
 def fig11_geometry(mixes=("C1", "C5"), *, scale: float = 1.0, seed: int = 7,
-                   assocs=(1, 4, 16), blocks=(64, 256, 2048)
+                   assocs=(1, 4, 16), blocks=(64, 256, 2048),
+                   jobs: int | None = None, cache=None, progress=None
                    ) -> list[dict]:
     """Fig. 11: associativity (A) x block size (B) sweep.
 
@@ -305,18 +310,15 @@ def fig11_geometry(mixes=("C1", "C5"), *, scale: float = 1.0, seed: int = 7,
     """
     rows = []
     base_cfg = default_system()
+    specs = [MixSpec(n, scale=scale, seed=seed) for n in mixes]
     for a in assocs:
         for b in blocks:
             cfg = base_cfg.with_geometry(assoc=a, block=b)
-            speeds: dict[str, list] = {"hashcache": [], "profess": [],
-                                       "hydrogen": []}
-            for name in mixes:
-                mix = build_mix(name, scale=scale, seed=seed)
-                per = compare_designs(
-                    mix, ("hashcache", "profess", "hydrogen"), cfg,
-                    native_geometry=False)
-                for d in speeds:
-                    speeds[d].append(per[d].weighted_speedup)
+            per = sweep_compare(specs, ("hashcache", "profess", "hydrogen"),
+                                cfg, native_geometry=False, workers=jobs,
+                                cache=cache, progress=progress)
             rows.append({"assoc": a, "block": b,
-                         **{d: geomean(v) for d, v in speeds.items()}})
+                         **{d: geomean([per[d][n].weighted_speedup
+                                        for n in mixes])
+                            for d in ("hashcache", "profess", "hydrogen")}})
     return rows

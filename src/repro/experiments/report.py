@@ -69,3 +69,23 @@ def perf_csv_rows(results: Mapping[str, Mapping[str, object]]) -> list[list]:
 
 PERF_HEADERS = ["design", "mix", "cpu_cycles", "gpu_cycles",
                 "cpu_speedup", "gpu_speedup", "weighted_speedup"]
+
+
+def format_sweep_stats(stats) -> str:
+    """Human-readable summary of a sweep run.
+
+    ``stats`` is a :class:`repro.experiments.sweep.SweepStats`: job and
+    dedup counts, cache hit/miss counters, worker count, total wall time
+    and the slowest individual jobs.
+    """
+    lines = [
+        f"sweep: {stats.submitted} submitted, {stats.unique} unique, "
+        f"{stats.simulated} simulated, {stats.cache_hits} cache hits "
+        f"({stats.hit_rate:.0%}), {stats.workers} worker(s), "
+        f"{stats.wall_total:.1f}s wall"
+    ]
+    slowest = stats.slowest()
+    if slowest:
+        worst = ", ".join(f"{label} {dt:.2f}s" for label, dt in slowest)
+        lines.append(f"slowest jobs: {worst}")
+    return "\n".join(lines)

@@ -20,8 +20,24 @@ from repro.traces.mixes import WorkloadMix, build_mix, cpu_only, gpu_only
 
 
 def env_scale(default: float = 1.0) -> float:
-    """Global run-length scale, overridable via $REPRO_SCALE."""
-    return float(os.environ.get("REPRO_SCALE", default))
+    """Global run-length scale, overridable via $REPRO_SCALE.
+
+    Malformed or non-positive values fail with a clear message instead of
+    a bare ``ValueError`` deep inside a sweep.
+    """
+    raw = os.environ.get("REPRO_SCALE")
+    if raw is None:
+        return float(default)
+    try:
+        scale = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"$REPRO_SCALE must be a number (e.g. 0.4), got {raw!r}"
+        ) from None
+    if not math.isfinite(scale) or scale <= 0:
+        raise ValueError(
+            f"$REPRO_SCALE must be a positive finite number, got {raw!r}")
+    return scale
 
 
 @dataclass(frozen=True)
@@ -61,42 +77,75 @@ def weighted_speedup(res: SimResult, base: SimResult,
     return ComboResult(res.mix, res.policy, res, s_cpu, s_gpu, ws)
 
 
-def compare_designs(mix: WorkloadMix, designs: tuple[str, ...],
-                    cfg: SystemConfig | None = None,
-                    **sim_kw) -> dict[str, ComboResult]:
-    """Run the baseline plus ``designs`` on one mix; normalize to baseline."""
-    cfg = cfg or default_system()
-    base = run_mix("baseline", mix, cfg, **sim_kw)
-    out: dict[str, ComboResult] = {
-        "baseline": weighted_speedup(base, base, cfg.weight_cpu, cfg.weight_gpu)
-    }
-    for name in designs:
-        res = run_mix(name, mix, cfg, **sim_kw)
-        out[name] = weighted_speedup(res, base, cfg.weight_cpu, cfg.weight_gpu)
-    return out
+def _cycle_ratio(num: float | None, den: float | None) -> float:
+    """``num / den`` with NaN for absent classes (None or zero cycles)."""
+    if num is None or not den:
+        return float("nan")
+    return num / den
 
 
-def corun_slowdowns(mix: WorkloadMix, cfg: SystemConfig | None = None,
-                    design="baseline", **sim_kw) -> dict[str, float]:
-    """Fig. 2(a): per-class slowdown of co-running vs running alone.
+def slowdown_metrics(corun: SimResult, solo_cpu: SimResult | None,
+                     solo_gpu: SimResult | None) -> dict[str, float]:
+    """Fig. 2(a) reduction shared by the serial and sweep-engine paths.
 
-    ``design`` is a registry name or a zero-argument policy factory (each of
-    the three runs needs a fresh policy instance).
+    A class with no agents (GPU-only or CPU-only mix) has no solo run and
+    ``None`` co-run cycles; its slowdown is NaN rather than a TypeError.
     """
-    cfg = cfg or default_system()
-
-    def fresh_policy():
-        return make_policy(design) if isinstance(design, str) else design()
-
-    solo_cpu = run_mix(fresh_policy(), cpu_only(mix), cfg, **sim_kw)
-    solo_gpu = run_mix(fresh_policy(), gpu_only(mix), cfg, **sim_kw)
-    corun = run_mix(fresh_policy(), mix, cfg, **sim_kw)
     return {
-        "cpu_slowdown": corun.cpu_cycles / solo_cpu.cpu_cycles,
-        "gpu_slowdown": corun.gpu_cycles / solo_gpu.gpu_cycles,
+        "cpu_slowdown": _cycle_ratio(
+            corun.cpu_cycles, solo_cpu.cpu_cycles if solo_cpu else None),
+        "gpu_slowdown": _cycle_ratio(
+            corun.gpu_cycles, solo_gpu.gpu_cycles if solo_gpu else None),
         "corun_cpu_cycles": corun.cpu_cycles,
         "corun_gpu_cycles": corun.gpu_cycles,
     }
+
+
+def compare_designs(mix: WorkloadMix, designs: tuple[str, ...],
+                    cfg: SystemConfig | None = None, *,
+                    jobs: int | None = None, cache=None, progress=None,
+                    **sim_kw) -> dict[str, ComboResult]:
+    """Run the baseline plus ``designs`` on one mix; normalize to baseline.
+
+    Submits through the sweep engine: ``jobs`` fans the designs out across
+    processes and ``cache`` recalls previously simulated cells from disk
+    (see :mod:`repro.experiments.sweep`).  The defaults — serial, no cache
+    — reproduce the historical behaviour bit-for-bit.
+    """
+    from repro.experiments.sweep import SweepEngine, sweep_compare
+    cfg = cfg or default_system()
+    engine = SweepEngine(workers=jobs, cache=cache, progress=progress)
+    per = sweep_compare([mix], tuple(designs), cfg, engine=engine, **sim_kw)
+    return {design: by_mix[mix.name] for design, by_mix in per.items()}
+
+
+def corun_slowdowns(mix: WorkloadMix, cfg: SystemConfig | None = None,
+                    design="baseline", *, jobs: int | None = None,
+                    cache=None, progress=None, **sim_kw) -> dict[str, float]:
+    """Fig. 2(a): per-class slowdown of co-running vs running alone.
+
+    ``design`` is a registry name or a zero-argument policy factory (each
+    of the three runs needs a fresh policy instance).  Registry names are
+    submitted through the sweep engine (``jobs`` / ``cache`` as in
+    :func:`compare_designs`); factories are not picklable or cacheable, so
+    they always run serially in-process.
+
+    One-sided mixes (no CPU or no GPU agents) skip the missing solo run
+    and report NaN for that class instead of raising.
+    """
+    cfg = cfg or default_system()
+    if isinstance(design, str):
+        from repro.experiments.sweep import SweepEngine, sweep_corun
+        engine = SweepEngine(workers=jobs, cache=cache, progress=progress)
+        return sweep_corun([mix], cfg, design=design, engine=engine,
+                           **sim_kw)[mix.name]
+
+    solo_cpu = (run_mix(design(), cpu_only(mix), cfg, **sim_kw)
+                if mix.cpu_traces else None)
+    solo_gpu = (run_mix(design(), gpu_only(mix), cfg, **sim_kw)
+                if mix.gpu_traces else None)
+    corun = run_mix(design(), mix, cfg, **sim_kw)
+    return slowdown_metrics(corun, solo_cpu, solo_gpu)
 
 
 def geomean(values) -> float:

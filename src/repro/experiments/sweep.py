@@ -1,0 +1,356 @@
+"""Parallel, cached experiment sweep engine.
+
+Every figure in the paper's evaluation (Figs. 2, 5, 9-11) is a grid of
+independent ``(mix, design, config)`` simulations.  This module fans
+those cells out across cores with :class:`concurrent.futures.
+ProcessPoolExecutor` — job specs are small picklable dataclasses, each
+carrying its own deterministic seed — and backs them with the on-disk
+:class:`repro.experiments.cache.SweepCache`, so re-running a figure
+script only simulates what changed.
+
+Because every simulation is deterministic given its spec, the parallel
+path produces *bit-identical* results to the serial path; worker count
+only affects wall-clock time.  Results are always returned in submission
+order regardless of completion order.
+
+Knobs
+-----
+* ``workers`` — process count; ``None`` reads ``$REPRO_SWEEP_JOBS``
+  (default 1 = serial in-process), ``0`` means "all cores".
+* ``cache`` — ``True`` (default directory, ``$REPRO_CACHE_DIR`` or
+  ``~/.cache/repro/sweep``), a directory path, a
+  :class:`~repro.experiments.cache.SweepCache`, or ``None``/``False``.
+* ``progress`` — a ``callable(str)`` (e.g. ``print``) receiving queue /
+  cache-hit / per-job-completion lines.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import asdict, dataclass, field, replace
+
+from repro.config import SystemConfig, default_system
+from repro.config_io import config_digest
+from repro.engine.simulator import SimResult
+from repro.experiments.cache import SweepCache, resolve_cache
+from repro.experiments.runner import (run_mix, slowdown_metrics,
+                                      weighted_speedup)
+from repro.traces.mixes import (CPU_COPIES, WorkloadMix, build_mix, cpu_only,
+                                gpu_only)
+
+#: Environment default for the worker count (used when ``workers=None``).
+WORKERS_ENV = "REPRO_SWEEP_JOBS"
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalize a worker count: ``None`` -> env/1, ``0``/neg -> all cores."""
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV, "")
+        try:
+            workers = int(raw) if raw else 1
+        except ValueError:
+            raise ValueError(
+                f"${WORKERS_ENV} must be an integer, got {raw!r}") from None
+    if workers <= 0:
+        workers = os.cpu_count() or 1
+    return workers
+
+
+def freeze_kw(kw: dict) -> tuple:
+    """Dict -> hashable, deterministically ordered (key, value) tuple."""
+    return tuple(sorted(kw.items()))
+
+
+@dataclass(frozen=True)
+class MixSpec:
+    """Picklable recipe for a Table II workload mix.
+
+    Carries its own seed, so every job derived from it is deterministic;
+    ``solo`` selects the CPU-only / GPU-only variant used by the Fig. 2
+    co-run study.  ``None`` reference counts mean "the library default".
+    """
+
+    name: str
+    scale: float = 1.0
+    seed: int = 7
+    solo: str | None = None  # None | "cpu" | "gpu"
+    cpu_refs: int | None = None
+    gpu_refs: int | None = None
+    footprint_scale: float = 1.0
+    cpu_copies: int = CPU_COPIES
+
+    @property
+    def run_name(self) -> str:
+        """Name of the built mix (solo variants get a -cpu/-gpu suffix)."""
+        return self.name + (f"-{self.solo}" if self.solo else "")
+
+    def build(self) -> WorkloadMix:
+        kw = {"scale": self.scale, "seed": self.seed,
+              "footprint_scale": self.footprint_scale,
+              "cpu_copies": self.cpu_copies}
+        if self.cpu_refs is not None:
+            kw["cpu_refs"] = self.cpu_refs
+        if self.gpu_refs is not None:
+            kw["gpu_refs"] = self.gpu_refs
+        mix = build_mix(self.name, **kw)
+        if self.solo == "cpu":
+            return cpu_only(mix)
+        if self.solo == "gpu":
+            return gpu_only(mix)
+        return mix
+
+
+def _mix_payload(mix: "MixSpec | WorkloadMix") -> dict:
+    """Stable cache-key component identifying a mix.
+
+    A :class:`MixSpec` is identified by its fields; an already-built
+    :class:`WorkloadMix` by a content fingerprint of its traces (so two
+    identical generations hash equally and any trace change invalidates).
+    """
+    if isinstance(mix, MixSpec):
+        return {"spec": asdict(mix)}
+    h = hashlib.sha256()
+    for tr in mix.traces:
+        h.update(f"{tr.name}|{tr.klass}|{tr.base}|{tr.footprint}|".encode())
+        h.update(tr.addrs.tobytes())
+        h.update(tr.writes.tobytes())
+        h.update(tr.gaps.tobytes())
+    return {"mix_name": mix.name, "traces_sha256": h.hexdigest()}
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One simulation cell: a design on a mix under a configuration."""
+
+    mix: "MixSpec | WorkloadMix"
+    design: str
+    cfg: SystemConfig
+    native_geometry: bool = True
+    sim_kw: tuple = ()
+
+    @property
+    def mix_name(self) -> str:
+        return self.mix.run_name if isinstance(self.mix, MixSpec) \
+            else self.mix.name
+
+    @property
+    def label(self) -> str:
+        return f"{self.design}@{self.mix_name}"
+
+    def run(self) -> SimResult:
+        mix = self.mix.build() if isinstance(self.mix, MixSpec) else self.mix
+        return run_mix(self.design, mix, self.cfg,
+                       native_geometry=self.native_geometry,
+                       **dict(self.sim_kw))
+
+    def cache_payload(self) -> dict:
+        return {"config": config_digest(self.cfg),
+                "design": self.design,
+                "native_geometry": self.native_geometry,
+                "mix": _mix_payload(self.mix),
+                "sim_kw": dict(self.sim_kw)}
+
+
+def _execute_job(job: SweepJob) -> tuple[SimResult, float]:
+    """Worker entry point: run one job, measuring its wall time."""
+    t0 = time.perf_counter()
+    return job.run(), time.perf_counter() - t0
+
+
+@dataclass
+class SweepStats:
+    """Progress / reporting counters for one engine (cumulative)."""
+
+    workers: int = 1
+    submitted: int = 0     # jobs handed to run(), duplicates included
+    unique: int = 0        # after deduplication
+    cache_hits: int = 0
+    cache_misses: int = 0  # unique jobs that had to simulate (cache on)
+    simulated: int = 0
+    completed: int = 0
+    wall_total: float = 0.0               # engine wall-clock over run()s
+    job_walls: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.unique if self.unique else 0.0
+
+    def slowest(self, n: int = 3) -> list[tuple[str, float]]:
+        return sorted(self.job_walls.items(), key=lambda kv: -kv[1])[:n]
+
+
+class SweepEngine:
+    """Deduplicating, caching, process-pool runner for sweep jobs."""
+
+    def __init__(self, workers: int | None = None, cache=None,
+                 progress=None) -> None:
+        self.workers = resolve_workers(workers)
+        self.cache: SweepCache | None = resolve_cache(cache)
+        self.progress = progress
+        self.stats = SweepStats(workers=self.workers)
+
+    def _say(self, msg: str) -> None:
+        if self.progress is not None:
+            self.progress(msg)
+
+    def run(self, jobs) -> dict[SweepJob, SimResult]:
+        """Run (or recall) every job; returns results in submission order.
+
+        Duplicate jobs — e.g. the shared baseline of several comparisons —
+        are simulated once.  With ``workers > 1`` pending jobs execute in a
+        process pool; completion order never affects the returned mapping.
+        """
+        t0 = time.perf_counter()
+        jobs = list(jobs)
+        ordered = list(dict.fromkeys(jobs))
+        self.stats.submitted += len(jobs)
+        self.stats.unique += len(ordered)
+
+        results: dict[SweepJob, SimResult] = {}
+        pending: list[SweepJob] = []
+        keys: dict[SweepJob, str] = {}
+        for job in ordered:
+            if self.cache is not None:
+                key = self.cache.key(job.cache_payload())
+                keys[job] = key
+                hit = self.cache.get(key)
+                if hit is not None:
+                    results[job] = hit
+                    self.stats.cache_hits += 1
+                    self.stats.completed += 1
+                    continue
+                self.stats.cache_misses += 1
+            pending.append(job)
+
+        self._say(f"sweep: {len(jobs)} job(s) queued "
+                  f"({len(jobs) - len(ordered)} duplicate, "
+                  f"{len(ordered) - len(pending)} cached), "
+                  f"running {len(pending)} on "
+                  f"{min(self.workers, max(1, len(pending)))} worker(s)")
+
+        done = 0
+
+        def record(job: SweepJob, res: SimResult, dt: float) -> None:
+            nonlocal done
+            done += 1
+            results[job] = res
+            self.stats.simulated += 1
+            self.stats.completed += 1
+            self.stats.job_walls[job.label] = dt
+            if self.cache is not None:
+                self.cache.put(keys[job], res)
+            self._say(f"  [{done}/{len(pending)}] {job.label} ({dt:.2f}s)")
+
+        if self.workers > 1 and len(pending) > 1:
+            with ProcessPoolExecutor(
+                    max_workers=min(self.workers, len(pending))) as pool:
+                futures = {pool.submit(_execute_job, job): job
+                           for job in pending}
+                for fut in as_completed(futures):
+                    res, dt = fut.result()
+                    record(futures[fut], res, dt)
+        else:
+            for job in pending:
+                res, dt = _execute_job(job)
+                record(job, res, dt)
+
+        self.stats.wall_total += time.perf_counter() - t0
+        return {job: results[job] for job in ordered}
+
+
+def as_spec(mix, *, scale: float = 1.0, seed: int = 7):
+    """Coerce a mix argument: a name becomes a :class:`MixSpec`; an
+    existing spec or built :class:`WorkloadMix` passes through unchanged
+    (``scale``/``seed`` apply only to names)."""
+    if isinstance(mix, str):
+        return MixSpec(mix, scale=scale, seed=seed)
+    return mix
+
+
+def _name_of(mix) -> str:
+    return mix.run_name if isinstance(mix, MixSpec) else mix.name
+
+
+def sweep_compare(mixes, designs, cfg: SystemConfig | None = None, *,
+                  scale: float = 1.0, seed: int = 7,
+                  native_geometry: bool = True, engine: SweepEngine | None = None,
+                  workers: int | None = None, cache=None, progress=None,
+                  **sim_kw) -> dict[str, dict[str, "ComboResult"]]:
+    """Baseline + ``designs`` on every mix, through one engine batch.
+
+    The whole (mix x design) grid — baselines included — is submitted as a
+    single job list, so parallelism spans mixes as well as designs and the
+    per-mix baseline is simulated exactly once and shared by every
+    comparison against it.  Returns ``{design: {mix_name: ComboResult}}``
+    (the Fig. 5 / perf.csv layout) with ``"baseline"`` first.
+    """
+    cfg = cfg or default_system()
+    engine = engine or SweepEngine(workers=workers, cache=cache,
+                                   progress=progress)
+    specs = [as_spec(m, scale=scale, seed=seed) for m in mixes]
+    names = list(dict.fromkeys(("baseline",) + tuple(designs)))
+    frozen = freeze_kw(sim_kw)
+
+    def job(spec, design):
+        return SweepJob(spec, design, cfg, native_geometry, frozen)
+
+    results = engine.run([job(s, d) for s in specs for d in names])
+    out: dict[str, dict] = {d: {} for d in names}
+    for spec in specs:
+        base = results[job(spec, "baseline")]
+        for d in names:
+            out[d][_name_of(spec)] = weighted_speedup(
+                results[job(spec, d)], base, cfg.weight_cpu, cfg.weight_gpu)
+    return out
+
+
+def _solo_variant(mix, klass: str):
+    """Solo spec/mix for one class, or ``None`` if the class is absent."""
+    if isinstance(mix, MixSpec):
+        return replace(mix, solo=klass)
+    present = mix.cpu_traces if klass == "cpu" else mix.gpu_traces
+    if not present:
+        return None
+    return cpu_only(mix) if klass == "cpu" else gpu_only(mix)
+
+
+def sweep_corun(mixes, cfg: SystemConfig | None = None, *,
+                design: str = "baseline", scale: float = 1.0, seed: int = 7,
+                engine: SweepEngine | None = None, workers: int | None = None,
+                cache=None, progress=None,
+                **sim_kw) -> dict[str, dict[str, float]]:
+    """Fig. 2(a)-style sweep: solo-CPU / solo-GPU / co-run per mix.
+
+    All three runs of every mix go through one engine batch.  Returns
+    ``{mix_name: slowdown metrics}`` with the same keys/NaN semantics as
+    :func:`repro.experiments.runner.corun_slowdowns`.
+    """
+    cfg = cfg or default_system()
+    engine = engine or SweepEngine(workers=workers, cache=cache,
+                                   progress=progress)
+    frozen = freeze_kw(sim_kw)
+
+    def job(mix):
+        return SweepJob(mix, design, cfg, True, frozen)
+
+    trios = []
+    jobs = []
+    for m in mixes:
+        spec = as_spec(m, scale=scale, seed=seed)
+        solo_cpu = _solo_variant(spec, "cpu")
+        solo_gpu = _solo_variant(spec, "gpu")
+        trios.append((spec, solo_cpu, solo_gpu))
+        jobs.extend(job(s) for s in (solo_cpu, solo_gpu, spec)
+                    if s is not None)
+
+    results = engine.run(jobs)
+    out = {}
+    for spec, solo_cpu, solo_gpu in trios:
+        out[_name_of(spec)] = slowdown_metrics(
+            results[job(spec)],
+            results[job(solo_cpu)] if solo_cpu is not None else None,
+            results[job(solo_gpu)] if solo_gpu is not None else None)
+    return out

@@ -54,6 +54,44 @@ def test_compare_table(capsys):
     assert "baseline" in out and "waypart" in out
 
 
+def test_sweep_command_and_cache(capsys, tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    args = ("sweep", "--mixes", "C1", "--designs", "waypart",
+            "--scale", "0.05", "--jobs", "1", "--cache-dir", cache_dir)
+    code, out = run_cli(capsys, *args)
+    assert code == 0
+    assert "baseline" in out and "waypart" in out and "geomean" in out
+    assert "2 simulated" in out
+
+    code, out = run_cli(capsys, *args)  # second invocation: cache-served
+    assert code == 0
+    assert "2 cache hits (100%)" in out and "0 simulated" in out
+
+
+def test_sweep_no_cache_and_csv(capsys, tmp_path):
+    csv_path = tmp_path / "sweep.csv"
+    code, out = run_cli(capsys, "sweep", "--mixes", "C1", "--designs",
+                        "waypart", "--scale", "0.05", "--no-cache",
+                        "--csv", str(csv_path))
+    assert code == 0
+    assert csv_path.exists()
+    assert "waypart,C1" in csv_path.read_text()
+
+
+def test_sweep_clear_cache(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    run_cli(capsys, "sweep", "--mixes", "C1", "--designs", "waypart",
+            "--scale", "0.05")
+    code, out = run_cli(capsys, "sweep", "--clear-cache")
+    assert code == 0
+    assert "cleared 2 cached result(s)" in out
+
+
+def test_sweep_unknown_mix(capsys):
+    with pytest.raises(SystemExit):
+        main(["sweep", "--mixes", "C99"])
+
+
 def test_traces_command(capsys, tmp_path):
     code, out = run_cli(capsys, "traces", "--mix", "C1", "--scale", "0.05",
                         "--out", str(tmp_path / "t"))

@@ -64,6 +64,30 @@ def test_corun_slowdowns_positive():
     assert sd["gpu_slowdown"] > 0.8
 
 
+def test_corun_slowdowns_gpu_only_mix():
+    """Regression: a mix with no CPU traces used to raise on the missing
+    solo run instead of reporting NaN for the absent class."""
+    import math
+
+    from repro.traces.mixes import gpu_only
+
+    sd = corun_slowdowns(gpu_only(tiny()), CFG)
+    assert math.isnan(sd["cpu_slowdown"])
+    assert sd["gpu_slowdown"] == pytest.approx(1.0, abs=0.05)
+    assert sd["corun_cpu_cycles"] is None
+    assert sd["corun_gpu_cycles"] > 0
+
+
+def test_corun_slowdowns_cpu_only_mix():
+    import math
+
+    from repro.traces.mixes import cpu_only
+
+    sd = corun_slowdowns(cpu_only(tiny()), CFG)
+    assert math.isnan(sd["gpu_slowdown"])
+    assert sd["cpu_slowdown"] == pytest.approx(1.0, abs=0.05)
+
+
 def test_geomean():
     assert geomean([2.0, 8.0]) == pytest.approx(4.0)
     assert geomean([]) == 0.0
@@ -75,6 +99,21 @@ def test_env_scale(monkeypatch):
     assert env_scale(0.7) == 0.7
     monkeypatch.setenv("REPRO_SCALE", "0.25")
     assert env_scale() == 0.25
+
+
+def test_env_scale_malformed(monkeypatch):
+    """Regression: a typo'd $REPRO_SCALE used to surface as a bare
+    float() ValueError with no mention of the variable."""
+    monkeypatch.setenv("REPRO_SCALE", "banana")
+    with pytest.raises(ValueError, match=r"REPRO_SCALE.*banana"):
+        env_scale()
+
+
+@pytest.mark.parametrize("bad", ["0", "-1", "-0.5", "nan", "inf"])
+def test_env_scale_rejects_non_positive(monkeypatch, bad):
+    monkeypatch.setenv("REPRO_SCALE", bad)
+    with pytest.raises(ValueError, match="REPRO_SCALE"):
+        env_scale()
 
 
 def test_format_table_alignment():

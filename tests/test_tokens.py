@@ -38,6 +38,39 @@ def test_refill_banking_is_capped():
     assert f.tokens <= 100.0  # 2 * (0.5*100)
 
 
+def test_idle_period_keeps_banked_tokens():
+    """Regression: an idle refill (observed == 0) used to collapse the cap
+    to 1.0 and silently confiscate the whole bank."""
+    f = TokenFaucet(frac=0.5, initial=0.0)
+    f.observe(100)
+    f.refill()                    # banks 50 tokens
+    assert f.tokens == pytest.approx(50.0)
+    added = f.refill()            # idle period: nothing observed
+    assert added == 0.0
+    assert f.tokens == pytest.approx(50.0)  # bank retained
+    for _ in range(5):            # stays retained over a long idle stretch
+        f.refill()
+    assert f.tokens == pytest.approx(50.0)
+
+
+def test_initial_bank_survives_idle_start():
+    """Before any traffic there is no steady-state refill estimate, so the
+    bootstrap bank must not be clamped away."""
+    f = TokenFaucet(initial=256.0)
+    f.refill()
+    assert f.tokens == pytest.approx(256.0)
+
+
+def test_cap_tracks_steady_state_refill():
+    f = TokenFaucet(frac=0.5, initial=0.0, bank_cap_mult=2.0)
+    for _ in range(6):
+        f.observe(100)
+        f.refill()
+    assert f.tokens <= 100.0      # capped at 2x the steady refill of 50
+    f.refill()                    # idle tick does not shrink the bank
+    assert f.tokens <= 100.0 and f.tokens > 1.0
+
+
 def test_zero_frac_denies_everything_after_initial():
     f = TokenFaucet(frac=0.0, initial=0)
     f.observe(10_000)
