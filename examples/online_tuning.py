@@ -1,41 +1,40 @@
 #!/usr/bin/env python3
 """Watch Hydrogen's epoch-based hill climber (Section IV-C) explore the
-(cap, bw, tok) space online.
+(cap, bw, tok) space online — through the telemetry layer.
 
-Prints the per-epoch weighted IPC and the active configuration, showing
-trials being accepted/reverted and the search converging.
+Attaches an :class:`repro.EpochRecorder` to the run and prints the
+epoch timeline (per-class IPC, fast-hit rates, token flow, active
+configuration) followed by the tuner's decision log: every trial with
+its accept/revert outcome and score margin, exactly as streamed by
+``repro trace`` / ``--trace`` (schema: docs/telemetry.md).
 
 Run:  python examples/online_tuning.py [MIX]   (default C5)
 """
 
 import sys
 
-from repro import build_mix, default_system
+from repro import EpochRecorder, build_mix, default_system, simulate
 from repro.core.hydrogen import HydrogenPolicy
-from repro.engine.simulator import Simulation
+from repro.experiments.report import epoch_table, format_events
 
 
 def main() -> None:
     mix_name = sys.argv[1] if len(sys.argv) > 1 else "C5"
     cfg = default_system()
     mix = build_mix(mix_name, cpu_refs=6_000, gpu_refs=50_000)
-    policy = HydrogenPolicy.full()
-    sim = Simulation(cfg, policy, mix, record_epochs=True)
-    res = sim.run()
+    recorder = EpochRecorder()
+    res = simulate(cfg, HydrogenPolicy.full(), mix, telemetry=recorder)
 
-    print(f"{mix_name}: {len(res.epochs)} epochs of "
-          f"{cfg.epochs.epoch_cycles:.0f} cycles\n")
-    print(f"{'epoch':>6s} {'t(kcyc)':>8s} {'weighted IPC':>13s} "
-          f"{'cap':>4s} {'bw':>3s} {'tok':>5s} {'state':>10s}")
-    prev = None
-    for i, e in enumerate(res.epochs):
-        conf = (e.get("cap"), e.get("bw"), e.get("tok"))
-        marker = "  <- reconfig" if prev is not None and conf != prev else ""
-        prev = conf
-        state = "converged" if e.get("converged") else "exploring"
-        print(f"{i:6d} {e['t']/1e3:8.0f} {e['weighted_ipc']:13.2f} "
-              f"{e.get('cap'):4} {e.get('bw'):3} {e.get('tok'):5} "
-              f"{state:>10s}{marker}")
+    print(f"{mix_name}: {len(recorder.epochs)} epochs of "
+          f"{cfg.epochs.epoch_cycles:.0f} cycles, "
+          f"{len(recorder.events)} telemetry events\n")
+    print(epoch_table(recorder.epochs))
+
+    moves = recorder.events_of("tuner.")
+    accepted = sum(e["kind"] == "tuner.accept" for e in moves)
+    reverted = sum(e["kind"] == "tuner.revert" for e in moves)
+    print(f"\ntuner decisions ({accepted} accepted, {reverted} reverted):")
+    print(format_events(recorder.events, prefixes=("tuner.",)))
 
     print(f"\nFinal configuration: {res.policy_state}")
     print(f"Tuner steps taken: {res.policy_state.get('tuner_steps')}")

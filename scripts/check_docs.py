@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Strict docs check: public API must be docstringed and documented.
+
+Walks the public surface — ``repro.__all__`` and
+``repro.experiments.__all__`` — and fails (non-zero exit) if any public
+class/function lacks a docstring or is never mentioned in
+``docs/api.md``.  Run directly (``python scripts/check_docs.py``) or via
+the tier-1 suite (``tests/test_check_docs.py``), so documentation rot
+breaks the build instead of accumulating.
+"""
+
+from __future__ import annotations
+
+import inspect
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+API_DOC = REPO / "docs" / "api.md"
+
+#: Public modules whose ``__all__`` defines the documented surface.
+PUBLIC_MODULES = ("repro", "repro.experiments")
+
+
+def public_symbols() -> list[tuple[str, str, object]]:
+    """(module, name, object) for every entry of the public __all__s."""
+    sys.path.insert(0, str(REPO / "src"))
+    out = []
+    for modname in PUBLIC_MODULES:
+        mod = __import__(modname, fromlist=["__all__"])
+        for name in mod.__all__:
+            if name.startswith("__"):  # dunders like __version__
+                continue
+            out.append((modname, name, getattr(mod, name)))
+    return out
+
+
+def check(symbols=None, doc_text: str | None = None) -> list[str]:
+    """Return a list of violation messages (empty = clean)."""
+    if symbols is None:
+        symbols = public_symbols()
+    if doc_text is None:
+        doc_text = API_DOC.read_text() if API_DOC.exists() else ""
+    problems = []
+    if not doc_text:
+        problems.append(f"missing API reference: {API_DOC}")
+    for modname, name, obj in symbols:
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            if not inspect.getdoc(obj):
+                problems.append(f"{modname}.{name}: missing docstring")
+        if f"`{name}`" not in doc_text:
+            problems.append(f"{modname}.{name}: no `{name}` entry "
+                            f"in docs/api.md")
+    return problems
+
+
+def main(argv=None) -> int:  # noqa: ARG001 - argv kept for CLI symmetry
+    problems = check()
+    for p in problems:
+        print(f"check_docs: {p}", file=sys.stderr)
+    if problems:
+        print(f"check_docs: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    n = len(public_symbols())
+    print(f"check_docs: {n} public symbols documented")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

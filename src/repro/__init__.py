@@ -11,19 +11,31 @@ Public API quick tour::
     result = simulate(cfg, HydrogenPolicy.full(), mix)
     print(result.ipc_cpu, result.ipc_gpu, result.hit_rate("cpu"))
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-paper-vs-measured record of every table and figure.
+Per-epoch observability (see docs/telemetry.md)::
+
+    from repro import EpochRecorder, simulate
+    rec = EpochRecorder()
+    simulate(cfg, HydrogenPolicy.full(), mix, telemetry=rec)
+    print(rec.last(3), rec.events_of("tuner."))
+
+See DESIGN.md for the system inventory, docs/api.md for the curated API
+reference, and EXPERIMENTS.md for the paper-vs-measured record of every
+table and figure.
 """
 
 from repro.config import (SystemConfig, default_system, ddr4, hbm2e, hbm3,
                           validate_ratios)
 from repro.engine.simulator import SimResult, Simulation, simulate
+from repro.telemetry import (EpochRecorder, JsonlSink, NullSink, Telemetry,
+                             TeeSink, read_jsonl)
 from repro.traces.mixes import ALL_MIXES, MIXES, WorkloadMix, build_mix
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "SystemConfig", "default_system", "ddr4", "hbm2e", "hbm3",
     "validate_ratios", "SimResult", "Simulation", "simulate",
-    "ALL_MIXES", "MIXES", "WorkloadMix", "build_mix", "__version__",
+    "ALL_MIXES", "MIXES", "WorkloadMix", "build_mix",
+    "Telemetry", "NullSink", "EpochRecorder", "JsonlSink", "TeeSink",
+    "read_jsonl", "__version__",
 ]

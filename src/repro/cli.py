@@ -9,10 +9,15 @@ Commands
 ``compare``  run several designs on one mix, normalized to the baseline
 ``sweep``    run a (mixes x designs) grid through the parallel, cached
              sweep engine with progress reporting
+``trace``    run one design with epoch telemetry on and print the epoch
+             timeline + tuner/reconfig decision events
 ``fig``      regenerate one of the paper's figures/tables
 ``traces``   generate and save the traces of a mix (artifact T1)
 ``config``   dump the (possibly overridden) system configuration as JSON
 ``designs``  list available designs and workloads
+
+``run``/``compare``/``sweep`` additionally take ``--trace PATH|DIR`` to
+stream per-run telemetry JSONL (schema: docs/telemetry.md).
 """
 
 from __future__ import annotations
@@ -27,10 +32,12 @@ from repro.engine.simulator import simulate
 from repro.experiments import figures
 from repro.experiments.cache import SweepCache, resolve_cache
 from repro.experiments.designs import ALL_DESIGNS, FIG5_DESIGNS, design_config, make_policy
-from repro.experiments.report import (PERF_HEADERS, format_sweep_stats,
+from repro.experiments.report import (PERF_HEADERS, epoch_table,
+                                      format_events, format_sweep_stats,
                                       format_table, perf_csv_rows, to_csv)
 from repro.experiments.runner import compare_designs, geomean, weighted_speedup
 from repro.experiments.sweep import MixSpec, SweepEngine, sweep_compare
+from repro.telemetry import EpochRecorder, JsonlSink, TeeSink
 from repro.traces.cpu import CPU_SPECS
 from repro.traces.gpu import GPU_SPECS
 from repro.traces.io import build_custom_mix, save_mix
@@ -81,7 +88,18 @@ def cmd_run(args) -> int:
     mix = _build_mix(args)
     policy = make_policy(args.design)
     cfg = design_config(args.design, cfg)
-    res = simulate(cfg, policy, mix)
+    sim_kw = {}
+    sink = None
+    if getattr(args, "trace", None):
+        sink = JsonlSink(args.trace, meta={"design": args.design,
+                                           "mix": mix.name,
+                                           "seed": args.seed})
+        sim_kw["telemetry"] = sink
+    try:
+        res = simulate(cfg, policy, mix, **sim_kw)
+    finally:
+        if sink is not None:
+            sink.close()
     out = {
         "mix": res.mix, "design": res.policy,
         "cpu_cycles": res.cpu_cycles, "gpu_cycles": res.gpu_cycles,
@@ -99,7 +117,9 @@ def cmd_compare(args) -> int:
     cfg = _load_cfg(args)
     mix = _build_mix(args)
     designs = tuple(args.designs.split(",")) if args.designs else FIG5_DESIGNS
-    out = compare_designs(mix, designs, cfg, **_sweep_kwargs(args))
+    out = compare_designs(mix, designs, cfg,
+                          trace_dir=getattr(args, "trace", None),
+                          **_sweep_kwargs(args))
     rows = [[name, c.weighted_speedup, c.speedup_cpu, c.speedup_gpu,
              c.result.hit_rate("cpu"), c.result.hit_rate("gpu")]
             for name, c in out.items()]
@@ -130,7 +150,8 @@ def cmd_sweep(args) -> int:
     engine = SweepEngine(workers=args.jobs, cache=cache,
                          progress=None if args.quiet else print)
     specs = [MixSpec(m, scale=args.scale, seed=args.seed) for m in mixes]
-    results = sweep_compare(specs, designs, cfg, engine=engine)
+    results = sweep_compare(specs, designs, cfg, engine=engine,
+                            trace_dir=getattr(args, "trace", None))
 
     names = list(results)
     rows = [[m] + [results[d][m].weighted_speedup for d in names]
@@ -143,6 +164,48 @@ def cmd_sweep(args) -> int:
         to_csv(PERF_HEADERS, perf_csv_rows(results), args.csv)
         print(f"perf rows written to {args.csv}")
     print(format_sweep_stats(engine.stats))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Run one design with epoch telemetry and print the timeline.
+
+    The in-memory :class:`EpochRecorder` always runs; ``--jsonl`` tees the
+    same stream to a structured trace file (schema: docs/telemetry.md) and
+    ``--csv`` flattens the epoch samples into a spreadsheet-friendly file.
+    """
+    cfg = _load_cfg(args)
+    mix = _build_mix(args)
+    policy = make_policy(args.design)
+    cfg = design_config(args.design, cfg)
+    recorder = EpochRecorder()
+    sink = recorder
+    jsonl = None
+    if args.jsonl:
+        jsonl = JsonlSink(args.jsonl, meta={"design": args.design,
+                                            "mix": mix.name,
+                                            "seed": args.seed})
+        sink = TeeSink(recorder, jsonl)
+    try:
+        res = simulate(cfg, policy, mix, telemetry=sink)
+    finally:
+        if jsonl is not None:
+            jsonl.close()
+
+    print(f"# {args.design} on {mix.name}: {len(recorder.epochs)} epochs, "
+          f"{len(recorder.events)} events")
+    print(epoch_table(recorder.epochs, last=args.last))
+    print()
+    print("decision events (tuner.* / reconfig.*):")
+    print(format_events(recorder.events))
+    if args.csv:
+        keys = sorted({k for e in recorder.epochs for k in e})
+        rows = [[e.get(k, "") for k in keys] for e in recorder.epochs]
+        to_csv(keys, rows, args.csv)
+        print(f"\nepoch samples written to {args.csv}")
+    if args.jsonl:
+        print(f"\nJSONL trace written to {args.jsonl}")
+    print(f"\nend state: {json.dumps(res.policy_state, default=str)}")
     return 0
 
 
@@ -257,13 +320,33 @@ def make_parser() -> argparse.ArgumentParser:
     common(sp)
     sp.add_argument("--design", default="hydrogen",
                     choices=list(ALL_DESIGNS))
+    sp.add_argument("--trace", metavar="PATH",
+                    help="stream telemetry JSONL to PATH "
+                         "(schema: docs/telemetry.md)")
     sp.set_defaults(fn=cmd_run)
 
     sp = sub.add_parser("compare", help="compare designs on one mix")
     common(sp)
     sp.add_argument("--designs", help="comma-separated design names")
     sweep_opts(sp)
+    sp.add_argument("--trace", metavar="DIR",
+                    help="write one telemetry JSONL per run into DIR "
+                         "(cache hits skip the run, so combine with "
+                         "--no-cache to trace every cell)")
     sp.set_defaults(fn=cmd_compare)
+
+    sp = sub.add_parser(
+        "trace", help="run one design with telemetry; print epoch timeline")
+    common(sp)
+    sp.add_argument("--design", default="hydrogen",
+                    choices=list(ALL_DESIGNS))
+    sp.add_argument("--last", type=int, default=None, metavar="N",
+                    help="show only the last N epoch rows")
+    sp.add_argument("--jsonl", metavar="PATH",
+                    help="also stream the structured trace to PATH")
+    sp.add_argument("--csv", metavar="PATH",
+                    help="also write flattened epoch samples to PATH")
+    sp.set_defaults(fn=cmd_trace)
 
     sp = sub.add_parser(
         "sweep", help="run a (mixes x designs) grid via the sweep engine")
@@ -279,6 +362,9 @@ def make_parser() -> argparse.ArgumentParser:
                     help="also write artifact-style perf rows to PATH")
     sp.add_argument("--quiet", action="store_true",
                     help="suppress per-job progress lines")
+    sp.add_argument("--trace", metavar="DIR",
+                    help="write one telemetry JSONL per simulated run into "
+                         "DIR (cache hits skip the run)")
     sp.set_defaults(fn=cmd_sweep)
 
     sp = sub.add_parser("fig", help="regenerate a paper figure/table")

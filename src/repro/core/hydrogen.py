@@ -26,7 +26,7 @@ from repro.core.tokens import (DEFAULT_TOKEN_FRAC, TOKEN_LEVELS,
                                PerChannelFaucets, TokenFaucet)
 from repro.core.tuner import HillClimber, ParamSpace
 from repro.hybrid.policies.base import PartitionPolicy
-from repro.hybrid.setassoc import HITS
+from repro.hybrid.setassoc import HITS, KLASS
 
 SWAP_MODES = ("on", "ideal", "prob", "off")
 
@@ -108,6 +108,7 @@ class HydrogenPolicy(PartitionPolicy):
                                                 self.tok_frac)
             else:
                 self.faucet = TokenFaucet(self.tok_frac)
+            self.faucet.sink = self.telemetry
 
         if self.enable_tuner:
             # Order matters: the hill climber cycles moves in domain order,
@@ -125,7 +126,8 @@ class HydrogenPolicy(PartitionPolicy):
             start = {"cap": cap, "bw": bw}
             if self.enable_tokens:
                 start["tok"] = self.tok_frac
-            self.tuner = HillClimber(space, start, eps=self.eps)
+            self.tuner = HillClimber(space, start, eps=self.eps,
+                                     sink=self.telemetry)
 
         if self.swap_mode == "ideal":
             ctrl.ideal_swap = True
@@ -165,6 +167,12 @@ class HydrogenPolicy(PartitionPolicy):
                     klass: str) -> int | None:
         if klass != "cpu" or self.swap_mode == "off":
             return None
+        if entry[KLASS] != "cpu":
+            # A CPU hit on a GPU-fetched (shared-data) block must not
+            # promote it: its alloc bit says GPU, so parking it in a
+            # CPU-dedicated way would break ownership and force a lazy
+            # invalidation on the next touch.
+            return None
         m = self.map
         if m.bw == 0 or m.channel(set_id, way) < m.bw:
             return None  # no dedicated channels / already dedicated
@@ -200,6 +208,9 @@ class HydrogenPolicy(PartitionPolicy):
     def on_phase(self, now: float) -> None:
         if self.tuner is not None:
             self.tuner.reset()
+            if self.telemetry.enabled:
+                self.telemetry.event("tuner.phase_reset",
+                                     watchdog_resets=self.tuner.watchdog_resets)
 
     def on_faucet(self, now: float) -> None:
         if self.faucet is None:
@@ -218,7 +229,13 @@ class HydrogenPolicy(PartitionPolicy):
                 self.faucet.observe(i, per)
         else:
             self.faucet.observe(int(delta))
-        self.faucet.refill()
+        amount = self.faucet.refill()
+        if self.telemetry.enabled:
+            self.telemetry.event("faucet.refill", amount=amount,
+                                 tokens=self.faucet.tokens,
+                                 frac=self.faucet.frac,
+                                 granted=self.faucet.granted,
+                                 denied=self.faucet.denied)
 
     def _apply(self, cfg: dict) -> None:
         self.reconfigurator.apply(cfg["cap"], cfg["bw"])  # cap in cap_units

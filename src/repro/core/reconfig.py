@@ -13,6 +13,7 @@ relocation-cost estimator used by tests and the Fig. 7(b) analysis.
 from __future__ import annotations
 
 from repro.core.partition import DecoupledMap
+from repro.telemetry import NULL_SINK
 
 
 class Reconfigurator:
@@ -34,6 +35,16 @@ class Reconfigurator:
         self.reconfigurations += 1
         if pol.ctrl is not None:
             pol.ctrl.stats.add("reconfig.count")
+        sink = getattr(pol, "telemetry", NULL_SINK)
+        if sink.enabled:
+            # Positive deltas are ways/channels granted to the CPU,
+            # negative are revocations back to the GPU (Section IV-D:
+            # only ownership moves; the way->channel map is invariant).
+            sink.event("reconfig.apply", cap_from=old.cap, cap_to=cap,
+                       bw_from=old.bw, bw_to=bw,
+                       cpu_ways_delta=cap - old.cap,
+                       cpu_channels_delta=bw - old.bw,
+                       generation=pol.generation)
         return True
 
 

@@ -16,6 +16,8 @@ The paper notes per-channel counters make a negligible difference
 
 from __future__ import annotations
 
+from repro.telemetry import NULL_SINK
+
 #: Discrete faucet levels the hill climber walks over (fraction of observed
 #: GPU requests allowed to migrate per period).  1.0 is effectively
 #: unthrottled; the paper's fixed heuristic (Hydrogen DP+Token) uses 0.15.
@@ -31,7 +33,8 @@ class TokenFaucet:
     """Single-counter token bucket with periodic refill."""
 
     def __init__(self, frac: float = DEFAULT_TOKEN_FRAC,
-                 initial: float = 256.0, bank_cap_mult: float = 2.0) -> None:
+                 initial: float = 256.0, bank_cap_mult: float = 2.0,
+                 label: int | str | None = None) -> None:
         if frac < 0:
             raise ValueError("frac must be >= 0")
         self.frac = frac
@@ -40,6 +43,11 @@ class TokenFaucet:
         self.observed = 0
         self.denied = 0
         self.granted = 0
+        #: Telemetry sink receiving ``faucet.exhausted`` events; ``label``
+        #: identifies the counter in the per-channel variant.
+        self.sink = NULL_SINK
+        self.label = label
+        self._dry_reported = False
         #: Steady-state refill estimate (EMA over *active* periods).  The
         #: bank cap is based on this, not on the instantaneous refill
         #: amount: an idle period (observed == 0) must not confiscate the
@@ -57,6 +65,16 @@ class TokenFaucet:
             self.granted += 1
             return True
         self.denied += 1
+        if self.sink.enabled and not self._dry_reported:
+            # One exhaustion event per dry spell, not per denied access:
+            # the counter running empty is the interesting transition
+            # (Section IV-B: further GPU migrations bypass at 64 B).
+            self._dry_reported = True
+            fields = {"tokens": self.tokens, "cost": cost,
+                      "denied": self.denied}
+            if self.label is not None:
+                fields["channel"] = self.label
+            self.sink.event("faucet.exhausted", **fields)
         return False
 
     def refill(self) -> float:
@@ -77,6 +95,7 @@ class TokenFaucet:
             self.tokens = min(self.tokens + amount, cap)
         else:
             self.tokens += amount
+        self._dry_reported = False  # new period: report the next dry spell
         return amount
 
 
@@ -85,8 +104,9 @@ class PerChannelFaucets:
 
     def __init__(self, channels: int, frac: float = DEFAULT_TOKEN_FRAC,
                  initial: float = 256.0) -> None:
-        self.faucets = [TokenFaucet(frac, initial / max(1, channels))
-                        for _ in range(channels)]
+        self.faucets = [TokenFaucet(frac, initial / max(1, channels),
+                                    label=i)
+                        for i in range(channels)]
 
     @property
     def frac(self) -> float:
@@ -96,6 +116,15 @@ class PerChannelFaucets:
     def frac(self, value: float) -> None:
         for f in self.faucets:
             f.frac = value
+
+    @property
+    def sink(self):
+        return self.faucets[0].sink
+
+    @sink.setter
+    def sink(self, value) -> None:
+        for f in self.faucets:
+            f.sink = value
 
     def observe(self, channel: int, n: int = 1) -> None:
         self.faucets[channel % len(self.faucets)].observe(n)

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.telemetry import NULL_SINK, Telemetry
+
 
 @dataclass(frozen=True)
 class ParamSpace:
@@ -46,8 +48,11 @@ class HillClimber:
 
     def __init__(self, space: ParamSpace, start: dict, eps: float = 0.05,
                  warmup_epochs: int = 8, settle_epochs: int = 1,
-                 watchdog_drop: float = 0.20) -> None:
+                 watchdog_drop: float = 0.20, *,
+                 sink: Telemetry = NULL_SINK) -> None:
         self.space = space
+        #: Telemetry sink receiving ``tuner.*`` decision events.
+        self.sink = sink
         self.eps = eps
         self.warmup_epochs = warmup_epochs
         self.settle_epochs = settle_epochs
@@ -93,6 +98,10 @@ class HillClimber:
             if score > self.base_score * (1.0 + self.eps):
                 # Accept: the trial's own measurement is the freshest base.
                 # Keep momentum on the same move next.
+                if self.sink.enabled:
+                    self.sink.event("tuner.accept", param=param, score=score,
+                                    base_score=self.base_score, eps=self.eps,
+                                    config=self.current)
                 self.base_score = score
                 self._misses = 0
                 self._move_ptr = (self._move_ptr - 1) % len(self._moves)
@@ -102,6 +111,10 @@ class HillClimber:
             # base measurement keeps run-long IPC drift (cache warming,
             # workload ramps) from systematically crediting trials.
             self.indices[param] = old_idx
+            if self.sink.enabled:
+                self.sink.event("tuner.revert", param=param, score=score,
+                                base_score=self.base_score, eps=self.eps,
+                                reason="below-margin", config=self.current)
             self._misses += 1
             if self._misses >= len(self._moves):
                 self._converge()
@@ -127,6 +140,9 @@ class HillClimber:
     def _converge(self) -> None:
         self.converged = True
         self._hold_ewma = self.base_score
+        if self.sink.enabled:
+            self.sink.event("tuner.converged", score=self.base_score,
+                            steps=self.steps_taken, config=self.current)
 
     def _watch(self, score: float) -> dict | None:
         """Converged: track score drift; restart if it collapses."""
@@ -134,6 +150,10 @@ class HillClimber:
         if (self.base_score is not None and self.watchdog_drop > 0
                 and self._hold_ewma < self.base_score * (1 - self.watchdog_drop)):
             self.watchdog_resets += 1
+            if self.sink.enabled:
+                self.sink.event("tuner.watchdog_reset", ewma=self._hold_ewma,
+                                base_score=self.base_score,
+                                drop=self.watchdog_drop)
             self.reset()
         return None
 
@@ -155,6 +175,11 @@ class HillClimber:
             self._trial = (param, old_idx)
             self.steps_taken += 1
             self._skip = self.settle_epochs
+            if self.sink.enabled:
+                self.sink.event("tuner.trial", param=param,
+                                direction=direction,
+                                base_score=self.base_score,
+                                config=self.current)
             return self.current
         self._converge()
         return None

@@ -17,10 +17,20 @@ from repro.engine.stats import Stats, weighted_ipc
 from repro.hybrid.controller import HybridMemoryController
 from repro.hybrid.policies.base import PartitionPolicy
 from repro.mem.energy import EnergyBreakdown, energy_breakdown
+from repro.telemetry import NULL_SINK, Telemetry
 from repro.traces.mixes import WorkloadMix
 
 #: Hard safety cap on simulated cycles (runaway-configuration backstop).
 MAX_CYCLES_DEFAULT = 50_000_000.0
+
+#: Stats counters sampled (as per-epoch deltas) into telemetry epoch
+#: records; requested explicitly so quiescent epochs report zeros
+#: (see ``Stats.delta``).
+_TELEMETRY_DELTA_KEYS = (
+    "cpu.fast_hits", "cpu.fast_misses", "gpu.fast_hits", "gpu.fast_misses",
+    "gpu.migration_tokens", "gpu.bypasses", "gpu.queue_bypasses",
+    "reconfig.lazy_invalidations",
+)
 
 
 @dataclass
@@ -53,14 +63,18 @@ class Simulation:
     def __init__(self, cfg: SystemConfig, policy: PartitionPolicy,
                  mix: WorkloadMix, max_cycles: float = MAX_CYCLES_DEFAULT,
                  record_epochs: bool = False, warmup_cpu: float = 0.25,
-                 warmup_gpu: float = 0.35) -> None:
+                 warmup_gpu: float = 0.35,
+                 telemetry: Telemetry | None = None) -> None:
         self.cfg = cfg
         self.mix = mix
         self.max_cycles = max_cycles
         self.record_epochs = record_epochs
         self.eq = EventQueue()
         self.stats = Stats()
-        self.ctrl = HybridMemoryController(cfg, self.eq, self.stats, policy)
+        self.telemetry = telemetry if telemetry is not None else NULL_SINK
+        self.telemetry.bind(lambda: self.eq.now)
+        self.ctrl = HybridMemoryController(cfg, self.eq, self.stats, policy,
+                                           telemetry=self.telemetry)
         self.policy = policy
         self.agents: list[TraceAgent] = []
         for i, tr in enumerate(mix.cpu_traces):
@@ -80,6 +94,10 @@ class Simulation:
             agent.on_done = self._agent_done
         self._last_retired = {"cpu": 0.0, "gpu": 0.0}
         self.epoch_log: list[dict] = []
+        # Telemetry epoch-delta state (touched only when a sink is enabled).
+        self._epoch_index = 0
+        self._tele_stats_snap: dict[str, float] = {}
+        self._tele_busy_snap = {"fast": 0.0, "slow": 0.0}
 
     def _agent_done(self) -> None:
         self._remaining -= 1
@@ -92,6 +110,12 @@ class Simulation:
         self.ctrl.flush_stats()  # adaptive policies read fresh counters
         metrics = self._epoch_metrics(ep)
         self.policy.on_epoch(now, metrics)
+        if self.telemetry.enabled:
+            # After on_epoch, so the sample reflects any reconfiguration
+            # the tuner just applied (matching record_epochs semantics);
+            # the tuner.*/reconfig.* events of this decision precede it.
+            self.telemetry.epoch(self._telemetry_sample(now, ep, metrics))
+        self._epoch_index += 1
         if self.record_epochs:
             metrics["t"] = now
             metrics.update(self.policy.describe())
@@ -112,6 +136,55 @@ class Simulation:
                                          self.cfg.weight_cpu,
                                          self.cfg.weight_gpu),
         }
+
+    def _telemetry_sample(self, now: float, epoch_cycles: float,
+                          metrics: dict) -> dict:
+        """Rich per-epoch sample (docs/telemetry.md ``epoch`` record).
+
+        Only computed when a sink is enabled; pure reads, so enabling
+        telemetry never perturbs simulation results.
+        """
+        d = self.stats.delta(self._tele_stats_snap,
+                             keys=_TELEMETRY_DELTA_KEYS)
+        self._tele_stats_snap = self.stats.snapshot()
+
+        def rate(klass: str) -> float:
+            hits = d[f"{klass}.fast_hits"]
+            total = hits + d[f"{klass}.fast_misses"]
+            return hits / total if total else 0.0
+
+        def util(tier: str) -> float:
+            dev = self.ctrl.fast if tier == "fast" else self.ctrl.slow
+            busy = dev.total_busy_cycles
+            delta = busy - self._tele_busy_snap[tier]
+            self._tele_busy_snap[tier] = busy
+            return delta / (epoch_cycles * len(dev.channels))
+
+        occ = self.ctrl.occupancy_by_class()
+        ways_total = self.cfg.num_sets * self.cfg.hybrid.assoc
+        sample = {
+            "epoch": self._epoch_index,
+            "t": now,
+            "ipc_cpu": metrics["ipc_cpu"],
+            "ipc_gpu": metrics["ipc_gpu"],
+            "weighted_ipc": metrics["weighted_ipc"],
+            "hit_rate_cpu": rate("cpu"),
+            "hit_rate_gpu": rate("gpu"),
+            "util_fast": util("fast"),
+            "util_slow": util("slow"),
+            "tokens_spent": d["gpu.migration_tokens"],
+            "tokens_bypassed": d["gpu.bypasses"],
+            "tokens_banked": 0.0,
+            "occ_cpu": occ.get("cpu", 0) / ways_total,
+            "occ_gpu": occ.get("gpu", 0) / ways_total,
+            "lazy_invalidations": d["reconfig.lazy_invalidations"],
+            "reloc_backlog": self.ctrl.relocation_backlog(),
+        }
+        # Policy state last: Hydrogen's describe() contributes cap/bw/tok,
+        # tokens_banked (the live bank) and tuner state; other policies
+        # leave the zero defaults in place.
+        sample.update(self.policy.describe())
+        return sample
 
     def _faucet_tick(self) -> None:
         self.policy.on_faucet(self.eq.now)

@@ -29,13 +29,24 @@ class Stats:
     def snapshot(self) -> dict[str, float]:
         return dict(self.counters)
 
-    def delta(self, since: dict[str, float]) -> dict[str, float]:
-        """Counter increments since a snapshot."""
+    def delta(self, since: dict[str, float],
+              keys: tuple[str, ...] | None = None) -> dict[str, float]:
+        """Counter increments since a snapshot.
+
+        Counters that did not move are omitted — except any named in
+        ``keys``, which are reported as explicit ``0.0`` even if the
+        counter does not exist yet.  Epoch records need that stability:
+        a quiescent epoch (no migrations, no bypasses) must still carry
+        the full documented field set rather than silently dropping it.
+        """
         out = {}
         for key, val in self.counters.items():
             d = val - since.get(key, 0.0)
             if d:
                 out[key] = d
+        if keys is not None:
+            for key in keys:
+                out.setdefault(key, 0.0)
         return out
 
     # -- derived metrics ---------------------------------------------------

@@ -54,6 +54,7 @@ def design_names() -> tuple[str, ...]:
 
 
 def make_policy(name: str) -> PartitionPolicy:
+    """A fresh policy instance for a registry name (see ``ALL_DESIGNS``)."""
     try:
         return _REGISTRY[name]()
     except KeyError:

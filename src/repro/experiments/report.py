@@ -70,6 +70,68 @@ def perf_csv_rows(results: Mapping[str, Mapping[str, object]]) -> list[list]:
 PERF_HEADERS = ["design", "mix", "cpu_cycles", "gpu_cycles",
                 "cpu_speedup", "gpu_speedup", "weighted_speedup"]
 
+#: Epoch-timeline table columns: (header, sample key) in print order.
+EPOCH_COLUMNS = (
+    ("epoch", "epoch"), ("t(kcyc)", "t"),
+    ("ipc_cpu", "ipc_cpu"), ("ipc_gpu", "ipc_gpu"), ("w_ipc", "weighted_ipc"),
+    ("hit_cpu", "hit_rate_cpu"), ("hit_gpu", "hit_rate_gpu"),
+    ("uf", "util_fast"), ("us", "util_slow"),
+    ("tok_spent", "tokens_spent"), ("tok_byp", "tokens_bypassed"),
+    ("tok_bank", "tokens_banked"),
+    ("cap", "cap"), ("bw", "bw"), ("tok", "tok"),
+)
+
+
+def epoch_table(epochs, last: int | None = None) -> str:
+    """Render telemetry epoch samples as a text timeline table.
+
+    ``epochs`` are :class:`repro.telemetry.EpochRecorder` samples (or
+    ``epoch`` records from a JSONL trace).  ``last`` keeps only the final
+    N rows.  Columns absent from a sample (e.g. ``cap`` for a policy
+    without a tuner) render as ``-``.
+    """
+    if last is not None:
+        epochs = list(epochs)[-last:]
+    rows = []
+    for e in epochs:
+        row = []
+        for header, key in EPOCH_COLUMNS:
+            v = e.get(key)
+            if v is None:
+                row.append("-")
+            elif key == "t":
+                row.append(f"{v / 1e3:.0f}")
+            elif key in ("epoch", "tokens_spent", "tokens_bypassed"):
+                row.append(f"{v:.0f}")
+            else:
+                row.append(v)
+        rows.append(row)
+    return format_table([h for h, _ in EPOCH_COLUMNS], rows)
+
+
+def format_events(events, prefixes: tuple[str, ...] = ("tuner.",
+                                                       "reconfig.")) -> str:
+    """Render telemetry decision events as one line each.
+
+    ``events`` are :class:`repro.telemetry.EpochRecorder` events (or
+    ``event`` records from a JSONL trace); ``prefixes`` selects the kinds
+    to show (the chatty ``faucet.*`` stream is off by default).
+    """
+    lines = []
+    for e in events:
+        kind = e.get("kind", "?")
+        if prefixes and not kind.startswith(prefixes):
+            continue
+        t = e.get("t")
+        stamp = f"{t / 1e3:10.0f}" if isinstance(t, (int, float)) else " " * 10
+        detail = "  ".join(
+            f"{k}={v:.3f}" if isinstance(v, float) else f"{k}={v}"
+            for k, v in e.items() if k not in ("kind", "t", "type"))
+        lines.append(f"{stamp}  {kind:<22s} {detail}")
+    if not lines:
+        return "(no events)"
+    return "\n".join(lines)
+
 
 def format_sweep_stats(stats) -> str:
     """Human-readable summary of a sweep run.

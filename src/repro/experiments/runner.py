@@ -104,18 +104,21 @@ def slowdown_metrics(corun: SimResult, solo_cpu: SimResult | None,
 def compare_designs(mix: WorkloadMix, designs: tuple[str, ...],
                     cfg: SystemConfig | None = None, *,
                     jobs: int | None = None, cache=None, progress=None,
+                    trace_dir: str | None = None,
                     **sim_kw) -> dict[str, ComboResult]:
     """Run the baseline plus ``designs`` on one mix; normalize to baseline.
 
     Submits through the sweep engine: ``jobs`` fans the designs out across
-    processes and ``cache`` recalls previously simulated cells from disk
-    (see :mod:`repro.experiments.sweep`).  The defaults — serial, no cache
-    — reproduce the historical behaviour bit-for-bit.
+    processes, ``cache`` recalls previously simulated cells from disk, and
+    ``trace_dir`` streams per-run telemetry JSONL (see
+    :mod:`repro.experiments.sweep`).  The defaults — serial, no cache, no
+    tracing — reproduce the historical behaviour bit-for-bit.
     """
     from repro.experiments.sweep import SweepEngine, sweep_compare
     cfg = cfg or default_system()
     engine = SweepEngine(workers=jobs, cache=cache, progress=progress)
-    per = sweep_compare([mix], tuple(designs), cfg, engine=engine, **sim_kw)
+    per = sweep_compare([mix], tuple(designs), cfg, engine=engine,
+                        trace_dir=trace_dir, **sim_kw)
     return {design: by_mix[mix.name] for design, by_mix in per.items()}
 
 

@@ -31,6 +31,7 @@ import os
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import asdict, dataclass, field, replace
+from pathlib import Path
 
 from repro.config import SystemConfig, default_system
 from repro.config_io import config_digest
@@ -123,13 +124,23 @@ def _mix_payload(mix: "MixSpec | WorkloadMix") -> dict:
 
 @dataclass(frozen=True)
 class SweepJob:
-    """One simulation cell: a design on a mix under a configuration."""
+    """One simulation cell: a design on a mix under a configuration.
+
+    ``trace_dir`` optionally streams the job's epoch/event telemetry to
+    ``<trace_dir>/<design>@<mix>.jsonl`` (the sink is created inside the
+    worker process, so jobs stay picklable).  Tracing never enters the
+    cache key — telemetry is a pure observation — so traced and untraced
+    runs of the same cell share one cached result.  A cache *hit* recalls
+    the result without re-simulating and therefore writes no trace; pass
+    ``cache=None`` (CLI ``--no-cache``) to trace every cell.
+    """
 
     mix: "MixSpec | WorkloadMix"
     design: str
     cfg: SystemConfig
     native_geometry: bool = True
     sim_kw: tuple = ()
+    trace_dir: str | None = None
 
     @property
     def mix_name(self) -> str:
@@ -141,12 +152,25 @@ class SweepJob:
         return f"{self.design}@{self.mix_name}"
 
     def run(self) -> SimResult:
+        from repro.telemetry import JsonlSink
         mix = self.mix.build() if isinstance(self.mix, MixSpec) else self.mix
-        return run_mix(self.design, mix, self.cfg,
-                       native_geometry=self.native_geometry,
-                       **dict(self.sim_kw))
+        kw = dict(self.sim_kw)
+        sink = None
+        if self.trace_dir:
+            sink = JsonlSink(Path(self.trace_dir) / f"{self.label}.jsonl",
+                             meta={"design": self.design,
+                                   "mix": self.mix_name})
+            kw["telemetry"] = sink
+        try:
+            return run_mix(self.design, mix, self.cfg,
+                           native_geometry=self.native_geometry, **kw)
+        finally:
+            if sink is not None:
+                sink.close()
 
     def cache_payload(self) -> dict:
+        # trace_dir is deliberately absent: telemetry does not change
+        # results, so keys stay byte-identical with tracing on or off.
         return {"config": config_digest(self.cfg),
                 "design": self.design,
                 "native_geometry": self.native_geometry,
@@ -278,6 +302,7 @@ def sweep_compare(mixes, designs, cfg: SystemConfig | None = None, *,
                   scale: float = 1.0, seed: int = 7,
                   native_geometry: bool = True, engine: SweepEngine | None = None,
                   workers: int | None = None, cache=None, progress=None,
+                  trace_dir: str | None = None,
                   **sim_kw) -> dict[str, dict[str, "ComboResult"]]:
     """Baseline + ``designs`` on every mix, through one engine batch.
 
@@ -286,6 +311,10 @@ def sweep_compare(mixes, designs, cfg: SystemConfig | None = None, *,
     per-mix baseline is simulated exactly once and shared by every
     comparison against it.  Returns ``{design: {mix_name: ComboResult}}``
     (the Fig. 5 / perf.csv layout) with ``"baseline"`` first.
+
+    ``trace_dir`` writes one telemetry JSONL per simulated cell (see
+    :class:`SweepJob`); workers run with the zero-overhead
+    :class:`~repro.telemetry.NullSink` unless it is set.
     """
     cfg = cfg or default_system()
     engine = engine or SweepEngine(workers=workers, cache=cache,
@@ -295,7 +324,8 @@ def sweep_compare(mixes, designs, cfg: SystemConfig | None = None, *,
     frozen = freeze_kw(sim_kw)
 
     def job(spec, design):
-        return SweepJob(spec, design, cfg, native_geometry, frozen)
+        return SweepJob(spec, design, cfg, native_geometry, frozen,
+                        trace_dir)
 
     results = engine.run([job(s, d) for s in specs for d in names])
     out: dict[str, dict] = {d: {} for d in names}
@@ -320,7 +350,7 @@ def _solo_variant(mix, klass: str):
 def sweep_corun(mixes, cfg: SystemConfig | None = None, *,
                 design: str = "baseline", scale: float = 1.0, seed: int = 7,
                 engine: SweepEngine | None = None, workers: int | None = None,
-                cache=None, progress=None,
+                cache=None, progress=None, trace_dir: str | None = None,
                 **sim_kw) -> dict[str, dict[str, float]]:
     """Fig. 2(a)-style sweep: solo-CPU / solo-GPU / co-run per mix.
 
@@ -334,7 +364,7 @@ def sweep_corun(mixes, cfg: SystemConfig | None = None, *,
     frozen = freeze_kw(sim_kw)
 
     def job(mix):
-        return SweepJob(mix, design, cfg, True, frozen)
+        return SweepJob(mix, design, cfg, True, frozen, trace_dir)
 
     trios = []
     jobs = []

@@ -28,6 +28,7 @@ from repro.hybrid.remap import RemapCache
 from repro.hybrid.setassoc import DIRTY, GEN, KLASS, TAG, FastStore
 from repro.hybrid.policies.base import PartitionPolicy
 from repro.mem.device import MemoryDevice
+from repro.telemetry import NULL_SINK, Telemetry
 
 _CLASS_KEYS = ("accesses", "remap_fills", "fast_hits", "fast_misses",
                "migrations", "migration_tokens", "bypasses", "queue_bypasses",
@@ -38,10 +39,14 @@ class HybridMemoryController:
     """Two-tier hybrid memory behind the LLC."""
 
     def __init__(self, cfg: SystemConfig, eq: EventQueue, stats: Stats,
-                 policy: PartitionPolicy) -> None:
+                 policy: PartitionPolicy,
+                 telemetry: Telemetry | None = None) -> None:
         self.cfg = cfg
         self.eq = eq
         self.stats = stats
+        #: Telemetry sink shared with the policy and its sub-mechanisms
+        #: (must be set before ``policy.attach`` reads it below).
+        self.telemetry = telemetry if telemetry is not None else NULL_SINK
         self.fast = MemoryDevice(cfg.fast, eq, stats, "fast")
         self.slow = MemoryDevice(cfg.slow, eq, stats, "slow")
         self.store = FastStore(cfg.num_sets, cfg.hybrid.assoc)
@@ -276,3 +281,25 @@ class HybridMemoryController:
 
     def occupancy_by_class(self) -> dict[str, int]:
         return self.store.occupancy_by_class()
+
+    def relocation_backlog(self, sample_sets: int = 256) -> float:
+        """Estimated resident blocks awaiting lazy invalidation.
+
+        Counts, over a sampled subset of sets, blocks whose way ownership
+        no longer matches their class — the backlog the lazy
+        reconfiguration mechanism (Section IV-D) drains as accesses touch
+        them — and scales the count to the full set population.
+        """
+        if self.ideal_reconfig:
+            return 0.0
+        policy, store = self.policy, self.store
+        nsets = self._nsets
+        step = max(1, nsets // min(sample_sets, nsets))
+        sampled = range(0, nsets, step)
+        count = 0
+        for s in sampled:
+            for way, entry in store.valid_ways(s):
+                owner = policy.way_owner(s, way)
+                if owner != "shared" and owner != entry[KLASS]:
+                    count += 1
+        return count * (nsets / len(sampled))

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.telemetry import NULL_SINK, Telemetry
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.hybrid.controller import HybridMemoryController
 
@@ -34,11 +36,14 @@ class PartitionPolicy:
         #: Configuration generation, bumped on every repartitioning; blocks
         #: remember the generation they were inserted under (lazy reconfig).
         self.generation = 0
+        #: Telemetry sink; replaced with the controller's sink on attach.
+        self.telemetry: Telemetry = NULL_SINK
 
     # -- lifecycle -----------------------------------------------------------
 
     def attach(self, ctrl: "HybridMemoryController") -> None:
         self.ctrl = ctrl
+        self.telemetry = getattr(ctrl, "telemetry", NULL_SINK)
 
     # -- geometry ------------------------------------------------------------
 

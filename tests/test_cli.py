@@ -131,3 +131,55 @@ def test_report_command(capsys, tmp_path):
     assert "hydrogen" in out and "baseline" in out
     lines = out.strip().splitlines()
     assert lines[2].split()[0] == "hydrogen"  # sorted by geomean desc
+
+
+def test_trace_command_prints_timeline(capsys):
+    code, out = run_cli(capsys, "trace", "--mix", "C1", "--design",
+                        "hydrogen", "--scale", "0.05", "--last", "3")
+    assert code == 0
+    assert "ipc_cpu" in out and "tok_spent" in out   # epoch table header
+    assert "decision events" in out
+    assert "end state" in out
+    # --last 3 keeps the table to header + rule + <=3 rows.
+    table = out.split("decision events")[0].strip().splitlines()
+    assert len(table) <= 1 + 2 + 3  # banner + header + rule + 3 rows
+
+
+def test_trace_command_jsonl_and_csv(capsys, tmp_path):
+    from repro.telemetry import read_jsonl, validate_records
+    jsonl = tmp_path / "t.jsonl"
+    csv_path = tmp_path / "t.csv"
+    code, out = run_cli(capsys, "trace", "--mix", "C1", "--design",
+                        "baseline", "--scale", "0.05",
+                        "--jsonl", str(jsonl), "--csv", str(csv_path))
+    assert code == 0
+    records = read_jsonl(jsonl)
+    validate_records(records)
+    meta = records[0]
+    assert meta["design"] == "baseline" and meta["mix"] == "C1"
+    n_epochs = sum(r["type"] == "epoch" for r in records)
+    header, *rows = csv_path.read_text().strip().splitlines()
+    assert "ipc_cpu" in header
+    assert len(rows) == n_epochs
+
+
+def test_run_trace_flag_writes_jsonl(capsys, tmp_path):
+    from repro.telemetry import read_jsonl, validate_records
+    path = tmp_path / "run.jsonl"
+    code, _ = run_cli(capsys, "run", "--mix", "C1", "--design", "baseline",
+                      "--scale", "0.05", "--trace", str(path))
+    assert code == 0
+    validate_records(read_jsonl(path))
+
+
+def test_compare_trace_dir_one_file_per_run(capsys, tmp_path):
+    from repro.telemetry import read_jsonl, validate_records
+    out_dir = tmp_path / "traces"
+    code, _ = run_cli(capsys, "compare", "--mix", "C1", "--scale", "0.05",
+                      "--designs", "waypart", "--no-cache",
+                      "--trace", str(out_dir))
+    assert code == 0
+    files = sorted(p.name for p in out_dir.glob("*.jsonl"))
+    assert files == ["baseline@C1.jsonl", "waypart@C1.jsonl"]
+    for p in out_dir.glob("*.jsonl"):
+        validate_records(read_jsonl(p))

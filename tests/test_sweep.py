@@ -204,3 +204,19 @@ def test_compare_designs_uses_cache(tmp_path):
     assert cache.hits == 2 and cache.stores == 2
     assert a["waypart"].weighted_speedup == pytest.approx(
         b["waypart"].weighted_speedup)
+
+
+def test_trace_dir_excluded_from_cache_key(tmp_path):
+    """Telemetry never changes results, so tracing must not change the
+    cache key: traced and untraced runs share cached cells byte-for-byte."""
+    plain = job("waypart")
+    traced = job("waypart", trace_dir=str(tmp_path / "traces"))
+    assert stable_key(plain.cache_payload()) == \
+        stable_key(traced.cache_payload())
+
+
+def test_traced_job_results_match_untraced(tmp_path):
+    traced = job("waypart", trace_dir=str(tmp_path))
+    plain = job("waypart")
+    assert traced.run().stats == plain.run().stats
+    assert (tmp_path / f"{traced.label}.jsonl").exists()

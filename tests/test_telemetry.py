@@ -1,0 +1,243 @@
+"""Epoch-timeline telemetry: zero-overhead default, decision-event
+consistency, JSONL round-trip, and the report renderers."""
+
+import json
+
+import pytest
+
+from repro import default_system, simulate
+from repro.engine.stats import Stats
+from repro.experiments.designs import make_policy
+from repro.experiments.report import epoch_table, format_events
+from repro.telemetry import (EPOCH_FIELDS, NULL_SINK, EpochRecorder,
+                             JsonlSink, NullSink, TeeSink, read_jsonl,
+                             validate_records)
+from repro.traces.mixes import build_mix
+
+
+def tiny_mix(seed=7):
+    return build_mix("C1", cpu_refs=400, gpu_refs=4_000, seed=seed)
+
+
+def tuned_mix(seed=7):
+    """Long enough for the hill climber to make at least one move."""
+    return build_mix("C1", cpu_refs=4_000, gpu_refs=30_000, seed=seed)
+
+
+@pytest.fixture(scope="module")
+def hydrogen_traced():
+    """One instrumented hydrogen run shared by the event-consistency and
+    round-trip tests (module-scoped: the run dominates test time)."""
+    rec = EpochRecorder()
+    res = simulate(default_system(), make_policy("hydrogen"), tuned_mix(),
+                   telemetry=rec)
+    return rec, res
+
+
+# -- zero-overhead default --------------------------------------------------
+
+
+def test_nullsink_is_disabled_noop():
+    sink = NullSink()
+    assert not sink.enabled
+    sink.bind(lambda: 1.0)
+    sink.epoch({"epoch": 0})
+    sink.event("tuner.trial", param="cap")
+    sink.close()
+    assert sink.now is None  # bind is a deliberate no-op
+    assert not NULL_SINK.enabled
+
+
+def test_telemetry_does_not_change_results():
+    """Enabling a sink is pure observation: numeric results and the stats
+    counter registry are identical to an untraced run."""
+    mix = tiny_mix()
+    base = simulate(default_system(), make_policy("hydrogen"), mix)
+    rec = EpochRecorder()
+    traced = simulate(default_system(), make_policy("hydrogen"), mix,
+                      telemetry=rec)
+    assert rec.epochs, "sink saw no epochs"
+    assert traced.stats == base.stats  # same counters, same values
+    assert traced.cpu_cycles == base.cpu_cycles
+    assert traced.gpu_cycles == base.gpu_cycles
+    assert traced.policy_state == base.policy_state
+
+
+def test_nullsink_never_builds_samples(monkeypatch):
+    """The disabled default skips sample construction entirely (the
+    deterministic proxy for 'no measurable slowdown')."""
+    from repro.engine.simulator import Simulation
+
+    def boom(self, *a, **kw):  # pragma: no cover - must not run
+        raise AssertionError("sample built on the NullSink path")
+
+    monkeypatch.setattr(Simulation, "_telemetry_sample", boom)
+    res = simulate(default_system(), make_policy("hydrogen"), tiny_mix())
+    assert res.cpu_cycles > 0
+
+
+# -- epoch samples ----------------------------------------------------------
+
+
+def test_epoch_samples_schema_and_queries():
+    rec = EpochRecorder()
+    simulate(default_system(), make_policy("hydrogen"), tiny_mix(),
+             telemetry=rec)
+    for sample in rec.epochs:
+        for field in EPOCH_FIELDS:
+            assert field in sample, field
+            assert isinstance(sample[field], (int, float)), field
+        assert 0.0 <= sample["hit_rate_cpu"] <= 1.0
+        assert 0.0 <= sample["occ_cpu"] + sample["occ_gpu"] <= 1.0 + 1e-9
+    assert [s["epoch"] for s in rec.epochs] == list(range(len(rec.epochs)))
+    assert rec.last(3) == rec.epochs[-3:]
+    assert rec.last(0) == []
+
+
+def test_nontuned_policy_gets_zero_defaults():
+    """Policies without a tuner/faucet still emit full epoch records."""
+    rec = EpochRecorder()
+    simulate(default_system(), make_policy("baseline"), tiny_mix(),
+             telemetry=rec)
+    assert rec.epochs
+    assert all(s["tokens_banked"] == 0.0 for s in rec.epochs)
+    assert not rec.events_of("tuner.")
+    validate_records(rec.records(meta={"design": "baseline"}))
+
+
+# -- decision events --------------------------------------------------------
+
+
+def test_tuner_events_match_end_state(hydrogen_traced):
+    """The last config-carrying tuner event equals the applied end state —
+    the trace is a faithful replay of the search (docs/telemetry.md)."""
+    rec, res = hydrogen_traced
+    moves = rec.events_of("tuner.")
+    assert moves, "no tuner events in a tuned run"
+    configs = [e["config"] for e in moves if "config" in e]
+    assert configs, "no config-bearing tuner events"
+    final = configs[-1]
+    for knob in ("cap", "bw", "tok"):
+        assert final[knob] == res.policy_state[knob], knob
+    # Trials pair with an accept or revert outcome in order.
+    kinds = [e["kind"] for e in moves]
+    assert kinds.count("tuner.trial") >= kinds.count("tuner.accept")
+
+
+def test_faucet_events(hydrogen_traced):
+    rec, _ = hydrogen_traced
+    refills = rec.events_of("faucet.refill")
+    assert refills and all(e["amount"] >= 0 for e in refills)
+    dry = rec.events_of("faucet.exhausted")
+    assert dry, "expected at least one dry spell under GPU pressure"
+    # Throttled: one exhaustion event per dry spell, never more than refills+1.
+    assert len(dry) <= len(refills) + 1
+
+
+def test_reconfig_events_carry_deltas(hydrogen_traced):
+    rec, _ = hydrogen_traced
+    applies = rec.events_of("reconfig.apply")
+    assert applies, "tuner never reconfigured in a tuned run"
+    for e in applies:
+        assert e["cpu_ways_delta"] == e["cap_to"] - e["cap_from"]
+        assert e["cpu_channels_delta"] == e["bw_to"] - e["bw_from"]
+    gens = [e["generation"] for e in applies]
+    assert gens == sorted(gens)
+
+
+def test_event_order_decisions_before_sample(hydrogen_traced):
+    """tuner/reconfig events of epoch N's decision precede epoch N's
+    sample in the unified record stream."""
+    rec, _ = hydrogen_traced
+    records = rec.records()
+    validate_records(records)
+    assert records[0]["type"] == "meta"
+
+
+# -- JSONL round-trip -------------------------------------------------------
+
+
+def test_jsonl_roundtrip(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    with JsonlSink(path, meta={"design": "hydrogen", "mix": "C1"}) as sink:
+        rec = EpochRecorder()
+        simulate(default_system(), make_policy("hydrogen"), tiny_mix(),
+                 telemetry=TeeSink(rec, sink))
+    records = read_jsonl(path)
+    validate_records(records)
+    assert records[0] == {"type": "meta", "schema": 1,
+                          "design": "hydrogen", "mix": "C1"}
+    epochs = [r for r in records if r["type"] == "epoch"]
+    assert len(epochs) == len(rec.epochs)
+    # Stream order interleaves decisions before their epoch's sample;
+    # the recorder saw the identical samples.
+    for disk, mem in zip(epochs, rec.epochs):
+        for field in EPOCH_FIELDS:
+            assert disk[field] == pytest.approx(mem[field])
+    events = [r for r in records if r["type"] == "event"]
+    assert len(events) == len(rec.events)
+
+
+def test_jsonl_creates_parent_dirs(tmp_path):
+    path = tmp_path / "a" / "b" / "t.jsonl"
+    with JsonlSink(path):
+        pass
+    assert json.loads(path.read_text())["type"] == "meta"
+
+
+def test_validate_records_rejects_bad_streams():
+    with pytest.raises(ValueError, match="empty"):
+        validate_records([])
+    with pytest.raises(ValueError, match="meta"):
+        validate_records([{"type": "epoch"}])
+    with pytest.raises(ValueError, match="schema"):
+        validate_records([{"type": "meta", "schema": 99}])
+    meta = {"type": "meta", "schema": 1}
+    with pytest.raises(ValueError, match="missing"):
+        validate_records([meta, {"type": "epoch"}])
+    sample = dict.fromkeys(EPOCH_FIELDS, 0.0)
+    with pytest.raises(ValueError, match="not numeric"):
+        validate_records([meta, {"type": "epoch", **sample, "t": "later"}])
+    with pytest.raises(ValueError, match="kind"):
+        validate_records([meta, {"type": "event"}])
+    with pytest.raises(ValueError, match="unknown type"):
+        validate_records([meta, {"type": "mystery"}])
+    validate_records([meta, {"type": "epoch", **sample},
+                      {"type": "event", "kind": "tuner.trial"}])
+
+
+# -- Stats.delta requested keys (satellite bugfix) --------------------------
+
+
+def test_stats_delta_keeps_requested_zero_keys():
+    st = Stats()
+    st.add("a.hits", 5.0)
+    snap = st.snapshot()
+    st.add("a.hits", 2.0)
+    # Unchanged-counter keys vanish by default...
+    assert st.delta(snap) == {"a.hits": 2.0}
+    # ...but requested keys are explicit zeros, changed or not.
+    d = st.delta(snap, keys=("a.hits", "b.misses"))
+    assert d == {"a.hits": 2.0, "b.misses": 0.0}
+    assert st.delta(st.snapshot(), keys=("a.hits",)) == {"a.hits": 0.0}
+
+
+# -- renderers --------------------------------------------------------------
+
+
+def test_epoch_table_and_event_rendering(hydrogen_traced):
+    rec, _ = hydrogen_traced
+    table = epoch_table(rec.epochs, last=5)
+    lines = table.splitlines()
+    assert len(lines) == 2 + 5  # header + rule + 5 rows
+    assert "ipc_cpu" in lines[0] and "tok_spent" in lines[0]
+    text = format_events(rec.events)
+    assert "tuner." in text
+    assert "faucet." not in text  # chatty stream excluded by default
+    assert format_events(rec.events, prefixes=("faucet.",)).count("faucet.")
+    assert format_events([]) == "(no events)"
+
+
+def test_epoch_table_renders_missing_keys_as_dash():
+    table = epoch_table([{"epoch": 0, "t": 5000.0, "ipc_cpu": 1.0}])
+    assert "-" in table.splitlines()[-1]
