@@ -31,7 +31,8 @@ def test_fig2a_corun_slowdowns(benchmark, sweep_opts):
     for tiled in ("C11", "C12"):
         assert by_mix[tiled]["cpu_slowdown"] > by_mix[tiled]["gpu_slowdown"]
     assert by_mix["C5"]["gpu_slowdown"] > by_mix["C5"]["cpu_slowdown"]
-    spread = max(r["cpu_slowdown"] for r in rows) /         min(r["cpu_slowdown"] for r in rows)
+    spread = (max(r["cpu_slowdown"] for r in rows)
+              / min(r["cpu_slowdown"] for r in rows))
     assert spread > 1.1  # different mixes need different partitioning
 
 

@@ -6,7 +6,7 @@ import os
 
 from conftest import BENCH_SCALE, SEED, run_once
 
-from repro.experiments.figures import fig5_overall, fig5_summary
+from repro.experiments.figures import fig5_overall
 from repro.experiments.report import (PERF_HEADERS, format_table,
                                       perf_csv_rows, to_csv)
 from repro.experiments.runner import geomean

@@ -1,0 +1,149 @@
+"""DET01 — deterministic-replay rule.
+
+Every simulation result in this reproduction must be a pure function of
+``(config, mix spec, seed)``: the sweep cache, the parallel engine's
+bit-identical guarantee, and every figure regression test depend on it.
+This rule bans the constructs that silently break that property:
+
+* **unseeded RNG construction** anywhere: ``random.Random()``,
+  ``np.random.default_rng()`` / ``np.random.RandomState()`` without a
+  seed argument;
+* **process-global RNG use** anywhere: ``random.random()``,
+  ``random.randint(...)``, ``np.random.rand(...)``, ... — the module
+  level generators share hidden global state across components;
+* **wall-clock / OS entropy in simulation state** (paths under
+  ``core/``, ``engine/``, ``hybrid/``, ``mem/``): ``time.time()``,
+  ``time.perf_counter()``, ``datetime.now()``, ``os.urandom()``,
+  ``uuid.uuid4()`` and friends;
+* **iteration over bare sets in simulation state** (same paths): the
+  iteration order of a ``set`` is salted per process, so any simulation
+  decision derived from it diverges between runs — rank or ``sorted()``
+  the members instead (cf. ``DecoupledMap.owners``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.framework import Finding, Module, Rule, dotted_name
+
+#: Path components that mark a module as simulation state: nondeterminism
+#: there changes results, not just logs.
+SIM_STATE_DIRS = frozenset({"core", "engine", "hybrid", "mem"})
+
+#: numpy generator constructors: flagged only when called with no seed
+#: argument (the seed must be threaded in, never defaulted).
+_NP_CTORS = {"default_rng", "RandomState", "Generator"}
+
+#: Wall-clock / entropy calls banned inside simulation-state paths.
+_WALLCLOCK = {
+    ("time", "time"), ("time", "time_ns"), ("time", "monotonic"),
+    ("time", "monotonic_ns"), ("time", "perf_counter"),
+    ("time", "perf_counter_ns"),
+    ("datetime", "now"), ("datetime", "utcnow"), ("datetime", "today"),
+    ("date", "today"),
+    ("os", "urandom"),
+    ("uuid", "uuid1"), ("uuid", "uuid4"),
+}
+
+
+def _is_np_random(chain: tuple[str, ...]) -> bool:
+    return (len(chain) >= 3 and chain[0] in ("np", "numpy")
+            and chain[1] == "random")
+
+
+def _seed_args(call: ast.Call) -> bool:
+    """Whether a generator constructor call carries any seed argument."""
+    return bool(call.args) or any(kw.arg in (None, "seed", "x")
+                                  for kw in call.keywords)
+
+
+def _set_expr(node: ast.AST) -> bool:
+    """Expression whose value is statically known to be a bare set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+            and node.func.id in ("set", "frozenset"):
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
+        return _set_expr(node.left) or _set_expr(node.right)
+    return False
+
+
+class DeterminismRule(Rule):
+    """No unseeded/global RNGs; no wall clocks or set-order dependence
+    inside simulation state."""
+
+    rule_id = "DET01"
+    name = "determinism"
+    description = ("simulation results must be a pure function of "
+                   "(config, mix, seed): RNGs constructor-seeded, no "
+                   "global random.* state, no wall clock or bare-set "
+                   "iteration order feeding simulation state")
+
+    def check(self, module: Module) -> Iterable[Finding]:
+        scoped = bool(SIM_STATE_DIRS.intersection(module.parts()))
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(module, node, scoped)
+            elif scoped and isinstance(node, (ast.For, ast.AsyncFor)):
+                if _set_expr(node.iter):
+                    yield self._set_iter(module, node.iter)
+            elif scoped and isinstance(node, (ast.ListComp, ast.SetComp,
+                                              ast.DictComp,
+                                              ast.GeneratorExp)):
+                for gen in node.generators:
+                    if _set_expr(gen.iter):
+                        yield self._set_iter(module, gen.iter)
+
+    def _check_call(self, module: Module, call: ast.Call,
+                    scoped: bool) -> Iterator[Finding]:
+        chain = dotted_name(call.func)
+        if not chain:
+            return
+        if chain[0] == "random" and len(chain) == 2:
+            attr = chain[1]
+            if attr == "Random":
+                if not _seed_args(call):
+                    yield self.finding(
+                        module, call,
+                        "unseeded random.Random(): pass the plumbed-in "
+                        "seed so runs replay deterministically")
+            elif attr == "SystemRandom":
+                yield self.finding(
+                    module, call,
+                    "random.SystemRandom draws OS entropy and can never "
+                    "replay; use a seeded random.Random")
+            else:
+                yield self.finding(
+                    module, call,
+                    f"random.{attr}() uses the process-global RNG; use a "
+                    f"constructor-seeded random.Random instance")
+        elif _is_np_random(chain):
+            attr = chain[2]
+            if attr in _NP_CTORS:
+                if not _seed_args(call):
+                    yield self.finding(
+                        module, call,
+                        f"unseeded np.random.{attr}(): pass the "
+                        f"plumbed-in seed")
+            else:
+                yield self.finding(
+                    module, call,
+                    f"np.random.{attr}() uses numpy's global RNG; use a "
+                    f"seeded np.random.default_rng(seed)")
+        elif scoped and len(chain) >= 2 and chain[-2:] in _WALLCLOCK:
+            yield self.finding(
+                module, call,
+                f"{'.'.join(chain)}() reads the wall clock / OS entropy "
+                f"inside simulation state; derive time from the event "
+                f"queue and randomness from a seeded RNG")
+
+    def _set_iter(self, module: Module, node: ast.AST) -> Finding:
+        return self.finding(
+            module, node,
+            "iteration over a bare set feeds simulation state in "
+            "arbitrary (per-process-salted) order; sort or rank the "
+            "members first")

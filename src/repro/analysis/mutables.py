@@ -1,0 +1,115 @@
+"""MUT01 — no-mutable-default rule (plus hashing-path ordering ban).
+
+A mutable default argument (``def f(x, acc=[])``) is evaluated once and
+shared across calls — in a simulator that means state silently leaking
+between supposedly independent runs, the exact failure mode the sweep
+engine's bit-identical guarantee forbids.  The rule flags list / dict /
+set / comprehension defaults and calls to known mutable constructors
+(``list()``, ``dict()``, ``set()``, ``defaultdict()``, ``deque()``,
+``Counter()``, ``OrderedDict()``, ``bytearray()``).
+
+The second half guards the *hashing paths* — modules whose output must
+be canonical across processes and Python builds (``hybrid/remap.py``,
+``experiments/cache.py``, ``experiments/sweep.py``, ``config_io.py``):
+iterating a dict view (``.items()`` / ``.keys()`` / ``.values()``) or a
+set there without wrapping it in ``sorted(...)`` bakes insertion /
+salt-dependent order into digests and cache keys.  ``config_digest``
+and ``freeze_kw`` exist precisely because of this; the rule keeps the
+property from regressing.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.framework import Finding, Module, Rule
+
+#: Constructors whose zero-state calls produce fresh mutable objects.
+MUTABLE_CTORS = frozenset({"list", "dict", "set", "defaultdict", "deque",
+                           "Counter", "OrderedDict", "bytearray"})
+
+#: Module suffixes whose iteration order feeds digests / cache keys.
+HASHING_PATH_SUFFIXES = ("hybrid/remap.py", "experiments/cache.py",
+                         "experiments/sweep.py", "config_io.py")
+
+_DICT_VIEWS = frozenset({"items", "keys", "values"})
+
+
+def _mutable_default(node: ast.AST) -> str | None:
+    """Describe a mutable default expression, or None if safe."""
+    if isinstance(node, (ast.List, ast.ListComp)):
+        return "list"
+    if isinstance(node, (ast.Dict, ast.DictComp)):
+        return "dict"
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "set"
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None)
+        if name in MUTABLE_CTORS:
+            return f"{name}()"
+    return None
+
+
+def _unsorted_view(node: ast.AST) -> str | None:
+    """An iterable expression with salt/insertion-dependent order."""
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return f"{func.id}(...)"
+        if isinstance(func, ast.Attribute) and func.attr in _DICT_VIEWS:
+            return f".{func.attr}()"
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "set literal"
+    return None
+
+
+class MutableDefaultRule(Rule):
+    """No mutable default arguments; canonical order in hashing paths."""
+
+    rule_id = "MUT01"
+    name = "no-mutable-default"
+    description = ("mutable default arguments leak state across calls; "
+                   "hashing-path modules must not iterate dict views or "
+                   "sets unsorted (digest/cache-key canonicality)")
+
+    def check(self, module: Module) -> Iterable[Finding]:
+        hashing = module.rel.endswith(HASHING_PATH_SUFFIXES)
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+                yield from self._check_defaults(module, node)
+            elif hashing:
+                if isinstance(node, (ast.For, ast.AsyncFor)):
+                    yield from self._check_iter(module, node.iter)
+                elif isinstance(node, (ast.ListComp, ast.SetComp,
+                                       ast.DictComp, ast.GeneratorExp)):
+                    for gen in node.generators:
+                        yield from self._check_iter(module, gen.iter)
+
+    def _check_defaults(self, module: Module,
+                        func: ast.AST) -> Iterator[Finding]:
+        args = func.args
+        defaults = list(args.defaults) + [d for d in args.kw_defaults
+                                          if d is not None]
+        for default in defaults:
+            kind = _mutable_default(default)
+            if kind is not None:
+                name = getattr(func, "name", "<lambda>")
+                yield self.finding(
+                    module, default,
+                    f"mutable default {kind} in {name}(): evaluated "
+                    f"once and shared across calls; default to None "
+                    f"(or use dataclasses.field(default_factory=...))")
+
+    def _check_iter(self, module: Module,
+                    iterable: ast.AST) -> Iterator[Finding]:
+        kind = _unsorted_view(iterable)
+        if kind is not None:
+            yield self.finding(
+                module, iterable,
+                f"iteration over {kind} in a hashing-path module bakes "
+                f"nondeterministic order into digests/cache keys; wrap "
+                f"in sorted(...)")

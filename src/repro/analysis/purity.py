@@ -1,0 +1,67 @@
+"""TEL01 — telemetry-purity rule.
+
+The telemetry layer (PR 2) is documented as *pure observation*: enabling
+a sink never changes simulated results, and sweep cache keys are
+identical with tracing on or off.  That guarantee holds only as long as
+no simulation code ever *consumes* an emission call's value — the
+moment ``sink.event(...)`` appears in a condition, an assignment, or a
+return value, telemetry has become control flow and the purity invariant
+(docs/telemetry.md "Invariants") is broken.
+
+The rule finds every call to an emission method (``epoch`` / ``event`` /
+``emit``) on a telemetry-ish receiver — any dotted name containing a
+``telemetry`` or ``sink`` component, the naming convention used
+throughout the tree — and requires it to be a bare expression
+statement.  Reading sink *state* (``sink.enabled`` guards, recorder
+queries like ``events_of``) is untouched: only emissions must be
+valueless.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.framework import Finding, Module, Rule, dotted_name
+
+#: Emission method names covered by the purity requirement.
+EMIT_METHODS = frozenset({"epoch", "event", "emit"})
+
+#: Receiver-name components that mark an object as a telemetry sink.
+SINK_COMPONENTS = ("telemetry", "sink")
+
+
+def _is_sink_receiver(chain: tuple[str, ...]) -> bool:
+    return any(any(c in part.lower() for c in SINK_COMPONENTS)
+               for part in chain)
+
+
+class TelemetryPurityRule(Rule):
+    """Telemetry emissions must be statements, never values."""
+
+    rule_id = "TEL01"
+    name = "telemetry-purity"
+    description = ("telemetry is pure observation: sink emission calls "
+                   "(.epoch/.event/.emit) may not appear in conditions, "
+                   "assignments, returns, or any other value position")
+
+    def check(self, module: Module) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in EMIT_METHODS):
+                continue
+            chain = dotted_name(node.func.value)
+            if not chain or not _is_sink_receiver(chain):
+                continue
+            parent = module.parent(node)
+            if isinstance(parent, ast.Expr):
+                continue  # bare statement: observation only
+            context = type(parent).__name__ if parent is not None \
+                else "module"
+            yield self.finding(
+                module, node,
+                f"telemetry emission "
+                f"{'.'.join(chain)}.{node.func.attr}(...) used as a "
+                f"value (inside {context}); emissions must be bare "
+                f"statements so tracing can never alter results")

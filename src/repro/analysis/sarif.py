@@ -1,0 +1,62 @@
+"""SARIF-shaped JSON output for ``repro lint --json``.
+
+Emits the subset of SARIF 2.1.0 that result viewers (GitHub code
+scanning, VS Code SARIF viewer) actually consume: one run, a tool
+driver with the rule catalogue, and one result per finding with a
+physical location.  The shape is stable — tests parse it — and small
+enough to stay dependency-free.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Sequence
+
+from repro.analysis.framework import Finding, Rule
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+_LEVELS = {"error": "error", "warning": "warning", "note": "note"}
+
+
+def to_sarif(findings: Iterable[Finding],
+             rules: Sequence[Rule] = ()) -> dict:
+    """Render findings (and the rule catalogue) as a SARIF ``dict``."""
+    results = []
+    for f in findings:
+        results.append({
+            "ruleId": f.rule_id,
+            "level": _LEVELS.get(f.severity, "warning"),
+            "message": {"text": f.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": f.path},
+                    "region": {"startLine": max(1, f.line),
+                               "startColumn": max(1, f.col)},
+                },
+            }],
+        })
+    driver = {
+        "name": "repro-lint",
+        "informationUri": "docs/analysis.md",
+        "rules": [{
+            "id": r.rule_id,
+            "name": r.name,
+            "shortDescription": {"text": r.description},
+            "defaultConfiguration": {
+                "level": _LEVELS.get(r.severity, "warning")},
+        } for r in rules],
+    }
+    return {
+        "version": SARIF_VERSION,
+        "$schema": SARIF_SCHEMA,
+        "runs": [{"tool": {"driver": driver}, "results": results}],
+    }
+
+
+def sarif_json(findings: Iterable[Finding], rules: Sequence[Rule] = (),
+               indent: int | None = 2) -> str:
+    """:func:`to_sarif` serialized to a JSON string."""
+    return json.dumps(to_sarif(findings, rules), indent=indent)

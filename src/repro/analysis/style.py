@@ -1,0 +1,113 @@
+"""STY0x — built-in style gates.
+
+A dependency-free subset of the ruff gates configured in
+``pyproject.toml`` (``[tool.ruff]``): the repository pins line length,
+bans trailing whitespace / tab indentation, and keeps imports live.
+When ruff is installed, ``scripts/check_all.py`` runs the full ruleset;
+these built-ins guarantee the same floor in environments (like CI
+sandboxes) where it is not.
+
+* **STY01** line longer than :data:`LINE_LIMIT` columns;
+* **STY02** trailing whitespace or a tab character in source;
+* **STY03** imported name never referenced (checked against code,
+  ``__all__`` strings, and string annotations; ``__init__.py`` re-export
+  modules are exempt).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.framework import Finding, Module, Rule
+
+#: Maximum source line length (matches [tool.ruff] line-length).
+LINE_LIMIT = 88
+
+
+class LineLengthRule(Rule):
+    """Lines must fit in :data:`LINE_LIMIT` columns."""
+
+    rule_id = "STY01"
+    name = "line-too-long"
+    severity = "warning"
+    description = f"source lines must be <= {LINE_LIMIT} characters"
+
+    def check(self, module: Module) -> Iterable[Finding]:
+        for i, line in enumerate(module.lines, start=1):
+            if len(line) > LINE_LIMIT:
+                yield self.finding(
+                    module, None,
+                    f"line is {len(line)} characters (limit {LINE_LIMIT})",
+                    line=i, col=LINE_LIMIT + 1)
+
+
+class WhitespaceRule(Rule):
+    """No trailing whitespace; no tab characters."""
+
+    rule_id = "STY02"
+    name = "stray-whitespace"
+    severity = "warning"
+    description = "no trailing whitespace or tab characters in source"
+
+    def check(self, module: Module) -> Iterable[Finding]:
+        for i, line in enumerate(module.lines, start=1):
+            if line != line.rstrip():
+                yield self.finding(module, None, "trailing whitespace",
+                                   line=i, col=len(line.rstrip()) + 1)
+            if "\t" in line:
+                yield self.finding(module, None, "tab character in source",
+                                   line=i, col=line.index("\t") + 1)
+
+
+class UnusedImportRule(Rule):
+    """Imported names must be referenced somewhere in the module."""
+
+    rule_id = "STY03"
+    name = "unused-import"
+    severity = "warning"
+    description = ("imports must be used (code, __all__, or string "
+                   "annotations); __init__.py files are exempt")
+
+    def check(self, module: Module) -> Iterable[Finding]:
+        if module.path.name == "__init__.py":
+            return
+        imported: list[tuple[str, ast.AST, str]] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    imported.append((bound, node, alias.name))
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "__future__":
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    imported.append((bound, node, alias.name))
+        if not imported:
+            return
+        used = self._used_names(module)
+        for bound, node, original in imported:
+            if bound not in used:
+                yield self.finding(
+                    module, node,
+                    f"imported name {bound!r} ({original}) is never used")
+
+    def _used_names(self, module: Module) -> set[str]:
+        used: set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Name):
+                used.add(node.id)
+            elif isinstance(node, ast.Attribute):
+                used.add(node.attr)
+            elif isinstance(node, ast.Constant) \
+                    and isinstance(node.value, str):
+                # __all__ entries and quoted annotations count as uses.
+                for part in node.value.replace("[", " ").replace("]", " ") \
+                        .replace(",", " ").split():
+                    head = part.split(".")[0].strip("'\"")
+                    if head.isidentifier():
+                        used.add(head)
+        return used

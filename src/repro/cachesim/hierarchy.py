@@ -28,13 +28,15 @@ class CacheHierarchy:
         self.levels = levels
 
     @classmethod
-    def for_cpu(cls, cfg: SystemConfig, llc_slice: CacheConfig | None = None) -> "CacheHierarchy":
+    def for_cpu(cls, cfg: SystemConfig,
+                llc_slice: CacheConfig | None = None) -> "CacheHierarchy":
         llc = llc_slice or _llc_slice(cfg, cfg.cpu.cores + 1)
         return cls([Cache(cfg.cpu.l1, "L1"), Cache(cfg.cpu.l2, "L2"),
                     Cache(llc, "LLC")])
 
     @classmethod
-    def for_gpu(cls, cfg: SystemConfig, llc_slice: CacheConfig | None = None) -> "CacheHierarchy":
+    def for_gpu(cls, cfg: SystemConfig,
+                llc_slice: CacheConfig | None = None) -> "CacheHierarchy":
         llc = llc_slice or _llc_slice(cfg, cfg.cpu.cores + 1)
         # All subslice L1s aggregated into one functional L1.
         total_l1 = CacheConfig(cfg.gpu.l1.size * cfg.gpu.subslices,

@@ -15,6 +15,7 @@ Commands
 ``traces``   generate and save the traces of a mix (artifact T1)
 ``config``   dump the (possibly overridden) system configuration as JSON
 ``designs``  list available designs and workloads
+``lint``     run the AST invariant linter (docs/analysis.md) over paths
 
 ``run``/``compare``/``sweep`` additionally take ``--trace PATH|DIR`` to
 stream per-run telemetry JSONL (schema: docs/telemetry.md).
@@ -25,13 +26,16 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 
+from repro.analysis import default_rules, rules_by_id, run_rules, sarif_json
 from repro.config import default_system, hbm3
 from repro.config_io import apply_overrides, config_from_json, config_to_json
 from repro.engine.simulator import simulate
 from repro.experiments import figures
 from repro.experiments.cache import SweepCache, resolve_cache
-from repro.experiments.designs import ALL_DESIGNS, FIG5_DESIGNS, design_config, make_policy
+from repro.experiments.designs import (ALL_DESIGNS, FIG5_DESIGNS,
+                                       design_config, make_policy)
 from repro.experiments.report import (PERF_HEADERS, epoch_table,
                                       format_events, format_sweep_stats,
                                       format_table, perf_csv_rows, to_csv)
@@ -275,6 +279,46 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    """Run the AST invariant linter (``repro.analysis``) over paths.
+
+    Exit code 0 when clean, 1 when findings exist, 2 on usage errors.
+    ``--json`` emits a SARIF-shaped report instead of text lines.
+    """
+    paths = args.paths or (["src"] if Path("src").is_dir() else ["."])
+    docs = args.docs
+    if docs is None and Path("docs/telemetry.md").exists():
+        docs = "docs/telemetry.md"
+    try:
+        if args.rules:
+            rules = rules_by_id(args.rules, docs)
+        else:
+            rules = default_rules(docs, style=not args.no_style)
+    except ValueError as exc:
+        raise SystemExit(f"repro lint: {exc}")
+    if args.list_rules:
+        for r in rules:
+            print(f"{r.rule_id}  {r.name:20s} [{r.severity}] "
+                  f"{r.description}")
+        return 0
+    missing = [p for p in paths if not Path(p).exists()]
+    if missing:
+        raise SystemExit(f"repro lint: no such path(s): "
+                         f"{', '.join(missing)}")
+    findings = run_rules(paths, rules)
+    if args.json:
+        print(sarif_json(findings, rules))
+    else:
+        for f in findings:
+            print(f.format())
+        n_err = sum(1 for f in findings if f.severity == "error")
+        n_warn = len(findings) - n_err
+        print(f"repro lint: {len(findings)} finding(s) "
+              f"({n_err} error, {n_warn} warning) over "
+              f"{', '.join(paths)}")
+    return 1 if findings else 0
+
+
 def cmd_designs(args) -> int:
     print("designs: ", ", ".join(ALL_DESIGNS))
     print("mixes:   ", ", ".join(ALL_MIXES),
@@ -386,6 +430,24 @@ def make_parser() -> argparse.ArgumentParser:
     sp = sub.add_parser("report", help="summarize a perf.csv (task T3)")
     sp.add_argument("csv", nargs="?", default="perf.csv")
     sp.set_defaults(fn=cmd_report)
+
+    sp = sub.add_parser(
+        "lint", help="run the AST invariant linter (docs/analysis.md)")
+    sp.add_argument("paths", nargs="*",
+                    help="files/directories to lint (default: src)")
+    sp.add_argument("--json", action="store_true",
+                    help="emit a SARIF-shaped JSON report")
+    sp.add_argument("--rules", metavar="SPEC",
+                    help="comma-separated rule ids/names or the groups "
+                         "domain|style|all (default: all)")
+    sp.add_argument("--no-style", action="store_true",
+                    help="run only the five domain rules")
+    sp.add_argument("--docs", metavar="PATH",
+                    help="Stats counter registry document "
+                         "(default: docs/telemetry.md if present)")
+    sp.add_argument("--list-rules", action="store_true",
+                    help="list the selected rules and exit")
+    sp.set_defaults(fn=cmd_lint)
 
     sp = sub.add_parser("designs", help="list designs and workloads")
     sp.set_defaults(fn=cmd_designs)

@@ -236,7 +236,8 @@ class SystemConfig:
 
     cpu: CPUConfig = field(default_factory=CPUConfig)
     gpu: GPUConfig = field(default_factory=GPUConfig)
-    llc: CacheConfig = field(default_factory=lambda: CacheConfig(16 * MB, 16, latency=38))
+    llc: CacheConfig = field(
+        default_factory=lambda: CacheConfig(16 * MB, 16, latency=38))
     fast: MemConfig = field(default_factory=hbm2e)
     slow: MemConfig = field(default_factory=ddr4)
     hybrid: HybridConfig = field(default_factory=HybridConfig)

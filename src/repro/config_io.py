@@ -99,7 +99,9 @@ def apply_overrides(cfg: SystemConfig, overrides: dict) -> SystemConfig:
     """Apply dotted-key overrides, e.g. ``{"hybrid.assoc": 8,
     "fast.channels": 2}`` — the CLI's ``--set`` mechanism."""
     d = config_to_dict(cfg)
-    for key, value in overrides.items():
+    # Sorted for canonical application order: override dicts built in
+    # different orders must yield identical configs (and digests).
+    for key, value in sorted(overrides.items()):
         node = d
         parts = key.split(".")
         for p in parts[:-1]:

@@ -19,6 +19,7 @@ the controller's ``ideal_reconfig`` flag.
 from __future__ import annotations
 
 import random
+from typing import TYPE_CHECKING, Any
 
 from repro.core.partition import DecoupledMap
 from repro.core.reconfig import Reconfigurator
@@ -27,6 +28,11 @@ from repro.core.tokens import (DEFAULT_TOKEN_FRAC, TOKEN_LEVELS,
 from repro.core.tuner import HillClimber, ParamSpace
 from repro.hybrid.policies.base import PartitionPolicy
 from repro.hybrid.setassoc import HITS, KLASS
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.config import SystemConfig
+    from repro.core.tuner import Config
+    from repro.hybrid.controller import HybridMemoryController
 
 SWAP_MODES = ("on", "ideal", "prob", "off")
 
@@ -65,21 +71,21 @@ class HydrogenPolicy(PartitionPolicy):
     # -- convenience constructors ------------------------------------------------
 
     @classmethod
-    def dp(cls, **kw) -> "HydrogenPolicy":
+    def dp(cls, **kw: Any) -> "HydrogenPolicy":
         """Hydrogen (DP): decoupled partitioning with fixed heuristics."""
         pol = cls(enable_tokens=False, enable_tuner=False, **kw)
         pol.name = "hydrogen-dp"
         return pol
 
     @classmethod
-    def dp_token(cls, **kw) -> "HydrogenPolicy":
+    def dp_token(cls, **kw: Any) -> "HydrogenPolicy":
         """Hydrogen (DP+Token): plus fixed 15% migration tokens."""
         pol = cls(enable_tokens=True, enable_tuner=False, **kw)
         pol.name = "hydrogen-dp-token"
         return pol
 
     @classmethod
-    def full(cls, **kw) -> "HydrogenPolicy":
+    def full(cls, **kw: Any) -> "HydrogenPolicy":
         """Hydrogen (Full): DP + tokens + online hill climbing."""
         pol = cls(enable_tokens=True, enable_tuner=True, **kw)
         pol.name = "hydrogen"
@@ -87,7 +93,7 @@ class HydrogenPolicy(PartitionPolicy):
 
     # -- lifecycle ------------------------------------------------------------------
 
-    def attach(self, ctrl) -> None:
+    def attach(self, ctrl: HybridMemoryController) -> None:
         super().attach(ctrl)
         assoc = ctrl.cfg.hybrid.assoc
         channels = ctrl.cfg.fast.channels
@@ -114,7 +120,7 @@ class HydrogenPolicy(PartitionPolicy):
             # Order matters: the hill climber cycles moves in domain order,
             # and tok/bw trials are far cheaper to back out of than cap
             # trials (which flush blocks).
-            domains = {}
+            domains: dict[str, tuple[float, ...]] = {}
             if self.enable_tokens:
                 domains["tok"] = TOKEN_LEVELS
             domains["bw"] = tuple(range(0, channels))
@@ -123,7 +129,7 @@ class HydrogenPolicy(PartitionPolicy):
             domains["cap"] = tuple(range(1, cap_units))
             space = ParamSpace(domains, is_valid=lambda cfg: (
                 cfg["cap"] >= _min_cap(cfg["bw"], cap_units, channels)))
-            start = {"cap": cap, "bw": bw}
+            start: dict[str, float] = {"cap": cap, "bw": bw}
             if self.enable_tokens:
                 start["tok"] = self.tok_frac
             self.tuner = HillClimber(space, start, eps=self.eps,
@@ -136,13 +142,19 @@ class HydrogenPolicy(PartitionPolicy):
 
     # -- geometry ------------------------------------------------------------------
 
+    # ``self.map`` is None only before ``attach``; the asserts narrow the
+    # Optional for type checkers and vanish under ``python -O``.
+
     def way_channel(self, set_id: int, way: int) -> int:
+        assert self.map is not None
         return self.map.channel(set_id, way)
 
     def way_owner(self, set_id: int, way: int) -> str:
+        assert self.map is not None
         return self.map.owner(set_id, way)
 
     def eligible_ways(self, set_id: int, klass: str) -> tuple[int, ...]:
+        assert self.map is not None
         return self.map.ways_of(set_id, klass)
 
     def channel_changed(self, set_id: int, way: int, gen: int) -> bool:
@@ -163,7 +175,7 @@ class HydrogenPolicy(PartitionPolicy):
 
     # -- fast-memory swap (Section IV-A) -----------------------------------------------
 
-    def on_fast_hit(self, set_id: int, way: int, entry: list,
+    def on_fast_hit(self, set_id: int, way: int, entry: list[Any],
                     klass: str) -> int | None:
         if klass != "cpu" or self.swap_mode == "off":
             return None
@@ -174,6 +186,7 @@ class HydrogenPolicy(PartitionPolicy):
             # invalidation on the next touch.
             return None
         m = self.map
+        assert m is not None
         if m.bw == 0 or m.channel(set_id, way) < m.bw:
             return None  # no dedicated channels / already dedicated
         if entry[HITS] < self.swap_threshold:
@@ -197,7 +210,7 @@ class HydrogenPolicy(PartitionPolicy):
 
     # -- adaptation -----------------------------------------------------------------
 
-    def on_epoch(self, now: float, metrics: dict) -> None:
+    def on_epoch(self, now: float, metrics: dict[str, float]) -> None:
         if self.tuner is None:
             return
         new = self.tuner.on_epoch(metrics["weighted_ipc"])
@@ -237,16 +250,18 @@ class HydrogenPolicy(PartitionPolicy):
                                  granted=self.faucet.granted,
                                  denied=self.faucet.denied)
 
-    def _apply(self, cfg: dict) -> None:
-        self.reconfigurator.apply(cfg["cap"], cfg["bw"])  # cap in cap_units
+    def _apply(self, cfg: Config) -> None:
+        # cap/bw values come from integer domains; cap is in cap_units.
+        self.reconfigurator.apply(int(cfg["cap"]), int(cfg["bw"]))
         if self.faucet is not None and "tok" in cfg:
             self.faucet.frac = cfg["tok"]
 
     # -- telemetry ---------------------------------------------------------------------
 
-    def describe(self) -> dict:
-        d = {"policy": self.name, "cap": self.map.cap, "bw": self.map.bw,
-             "swap_mode": self.swap_mode}
+    def describe(self) -> dict[str, Any]:
+        assert self.map is not None
+        d: dict[str, Any] = {"policy": self.name, "cap": self.map.cap,
+                             "bw": self.map.bw, "swap_mode": self.swap_mode}
         if self.faucet is not None:
             d["tok"] = self.faucet.frac
             d["tokens_denied"] = self.faucet.denied
@@ -257,7 +272,7 @@ class HydrogenPolicy(PartitionPolicy):
         return d
 
 
-def metadata_overhead(cfg) -> dict:
+def metadata_overhead(cfg: SystemConfig) -> dict[str, Any]:
     """Hydrogen's hardware cost (Section IV-F "Hardware cost").
 
     The only per-block state Hydrogen adds is one ``alloc`` bit per way in

@@ -12,14 +12,19 @@ relocation-cost estimator used by tests and the Fig. 7(b) analysis.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.core.partition import DecoupledMap
 from repro.telemetry import NULL_SINK
+
+if TYPE_CHECKING:  # circular at runtime: hydrogen imports this module
+    from repro.core.hydrogen import HydrogenPolicy
 
 
 class Reconfigurator:
     """Applies (cap, bw) changes to a Hydrogen policy."""
 
-    def __init__(self, policy) -> None:
+    def __init__(self, policy: HydrogenPolicy) -> None:
         self.policy = policy
         self.reconfigurations = 0
 
@@ -27,6 +32,7 @@ class Reconfigurator:
         """Switch the policy to a new map; returns whether anything changed."""
         pol = self.policy
         old = pol.map
+        assert old is not None, "policy not attached to a controller"
         if cap == old.cap and bw == old.bw:
             return False
         pol.map = DecoupledMap(old.assoc, old.channels, cap, bw,

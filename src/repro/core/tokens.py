@@ -16,7 +16,7 @@ The paper notes per-channel counters make a negligible difference
 
 from __future__ import annotations
 
-from repro.telemetry import NULL_SINK
+from repro.telemetry import NULL_SINK, Telemetry
 
 #: Discrete faucet levels the hill climber walks over (fraction of observed
 #: GPU requests allowed to migrate per period).  1.0 is effectively
@@ -45,7 +45,7 @@ class TokenFaucet:
         self.granted = 0
         #: Telemetry sink receiving ``faucet.exhausted`` events; ``label``
         #: identifies the counter in the per-channel variant.
-        self.sink = NULL_SINK
+        self.sink: Telemetry = NULL_SINK
         self.label = label
         self._dry_reported = False
         #: Steady-state refill estimate (EMA over *active* periods).  The
@@ -70,8 +70,8 @@ class TokenFaucet:
             # the counter running empty is the interesting transition
             # (Section IV-B: further GPU migrations bypass at 64 B).
             self._dry_reported = True
-            fields = {"tokens": self.tokens, "cost": cost,
-                      "denied": self.denied}
+            fields: dict[str, float | int | str] = {
+                "tokens": self.tokens, "cost": cost, "denied": self.denied}
             if self.label is not None:
                 fields["channel"] = self.label
             self.sink.event("faucet.exhausted", **fields)
@@ -104,9 +104,9 @@ class PerChannelFaucets:
 
     def __init__(self, channels: int, frac: float = DEFAULT_TOKEN_FRAC,
                  initial: float = 256.0) -> None:
-        self.faucets = [TokenFaucet(frac, initial / max(1, channels),
-                                    label=i)
-                        for i in range(channels)]
+        self.faucets: list[TokenFaucet] = [
+            TokenFaucet(frac, initial / max(1, channels), label=i)
+            for i in range(channels)]
 
     @property
     def frac(self) -> float:
@@ -118,11 +118,11 @@ class PerChannelFaucets:
             f.frac = value
 
     @property
-    def sink(self):
+    def sink(self) -> Telemetry:
         return self.faucets[0].sink
 
     @sink.setter
-    def sink(self, value) -> None:
+    def sink(self, value: Telemetry) -> None:
         for f in self.faucets:
             f.sink = value
 

@@ -17,24 +17,34 @@ well below the level at which it was adopted.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.telemetry import NULL_SINK, Telemetry
+
+#: A point in the search space: parameter name -> value.  All Hydrogen
+#: knobs are numeric (cap/bw are way/channel counts, tok is a fraction).
+Config = dict[str, float]
+
+
+def _always_valid(cfg: Config) -> bool:
+    """Default validator: every configuration is acceptable."""
+    return True
 
 
 @dataclass(frozen=True)
 class ParamSpace:
     """Discrete search space: parameter name -> ordered value list."""
 
-    domains: dict[str, tuple]
+    domains: dict[str, tuple[float, ...]]
     #: Optional config validator (e.g. Hydrogen's cap >= bw constraint).
-    is_valid: callable = field(default=lambda cfg: True)
+    is_valid: Callable[[Config], bool] = field(default=_always_valid)
 
     def clamp_index(self, name: str, idx: int) -> int | None:
         if 0 <= idx < len(self.domains[name]):
             return idx
         return None
 
-    def config(self, indices: dict[str, int]) -> dict:
+    def config(self, indices: dict[str, int]) -> Config:
         return {k: self.domains[k][i] for k, i in indices.items()}
 
 
@@ -46,7 +56,7 @@ class HillClimber:
     configuration to apply next (or None to keep the current one).
     """
 
-    def __init__(self, space: ParamSpace, start: dict, eps: float = 0.05,
+    def __init__(self, space: ParamSpace, start: Config, eps: float = 0.05,
                  warmup_epochs: int = 8, settle_epochs: int = 1,
                  watchdog_drop: float = 0.20, *,
                  sink: Telemetry = NULL_SINK) -> None:
@@ -57,8 +67,8 @@ class HillClimber:
         self.warmup_epochs = warmup_epochs
         self.settle_epochs = settle_epochs
         self.watchdog_drop = watchdog_drop
-        self.indices = {k: space.domains[k].index(start[k])
-                        for k in space.domains}
+        self.indices: dict[str, int] = {k: space.domains[k].index(start[k])
+                                        for k in space.domains}
         if not space.is_valid(space.config(self.indices)):
             raise ValueError(f"invalid start configuration {start}")
         self.base_score: float | None = None
@@ -69,7 +79,8 @@ class HillClimber:
         # Hydrogen knob the -1 neighbour is the gentler trial (less capacity
         # taken from the other class, fewer dedicated channels, stronger
         # throttle), so the expensive mis-trials come late.
-        self._moves = [(k, d) for k in space.domains for d in (-1, +1)]
+        self._moves: list[tuple[str, int]] = [
+            (k, d) for k in space.domains for d in (-1, +1)]
         self._move_ptr = 0
         self._misses = 0
         self._trial: tuple[str, int] | None = None  # (param, old_index)
@@ -79,10 +90,10 @@ class HillClimber:
     # -- public --------------------------------------------------------------
 
     @property
-    def current(self) -> dict:
+    def current(self) -> Config:
         return self.space.config(self.indices)
 
-    def on_epoch(self, score: float) -> dict | None:
+    def on_epoch(self, score: float) -> Config | None:
         """Feed the last epoch's score; returns the next config to apply."""
         if self._skip > 0:
             self._skip -= 1
@@ -144,8 +155,9 @@ class HillClimber:
             self.sink.event("tuner.converged", score=self.base_score,
                             steps=self.steps_taken, config=self.current)
 
-    def _watch(self, score: float) -> dict | None:
+    def _watch(self, score: float) -> Config | None:
         """Converged: track score drift; restart if it collapses."""
+        assert self._hold_ewma is not None  # set by _converge()
         self._hold_ewma = 0.7 * self._hold_ewma + 0.3 * score
         if (self.base_score is not None and self.watchdog_drop > 0
                 and self._hold_ewma < self.base_score * (1 - self.watchdog_drop)):
@@ -157,7 +169,7 @@ class HillClimber:
             self.reset()
         return None
 
-    def _propose(self) -> dict | None:
+    def _propose(self) -> Config | None:
         """Pick the next valid neighbour move; None if stuck everywhere."""
         for _ in range(len(self._moves)):
             param, direction = self._moves[self._move_ptr]

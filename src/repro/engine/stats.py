@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 
-CLASSES = ("cpu", "gpu")
+CLASSES: tuple[str, str] = ("cpu", "gpu")
 
 
 class Stats:
@@ -39,7 +39,7 @@ class Stats:
         a quiescent epoch (no migrations, no bypasses) must still carry
         the full documented field set rather than silently dropping it.
         """
-        out = {}
+        out: dict[str, float] = {}
         for key, val in self.counters.items():
             d = val - since.get(key, 0.0)
             if d:

@@ -1,0 +1,294 @@
+"""Tests for repro.analysis — the AST invariant linter.
+
+One fixture module per domain rule (a single known violation each,
+asserted by rule id, file, and line), the clean-tree guarantee over
+``src/repro``, and the ``repro lint`` CLI contract (text + SARIF JSON,
+exit codes).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (DeterminismRule, MutableDefaultRule, Rule,
+                            StatsKeyRegistryRule, SweepPicklabilityRule,
+                            TelemetryPurityRule, UnusedImportRule,
+                            default_rules, rules_by_id, run_rules, to_sarif)
+
+REPO = Path(__file__).resolve().parents[1]
+
+#: Minimal registry document for KEY01 fixtures.
+FIXTURE_DOCS = textwrap.dedent("""\
+    # Telemetry
+
+    ## Stats counter registry
+
+    | Key | Producer | Meaning |
+    | --- | --- | --- |
+    | `cpu.accesses` | controller | requests |
+    | `gpu.accesses` | controller | requests |
+    """)
+
+
+def lint_source(tmp_path: Path, source: str, rule: Rule,
+                name: str = "mod.py") -> list:
+    """Write one fixture module and run a single rule over it."""
+    target = tmp_path / name
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(source))
+    return run_rules([target], [rule])
+
+
+def test_det01_unseeded_rng(tmp_path):
+    findings = lint_source(tmp_path, """\
+        import random
+
+        rng = random.Random()
+        """, DeterminismRule())
+    assert [f.rule_id for f in findings] == ["DET01"]
+    assert findings[0].line == 3
+    assert findings[0].path.endswith("mod.py")
+
+
+def test_det01_wallclock_scoped_to_sim_state_dirs(tmp_path):
+    source = """\
+        import time
+
+        def now():
+            return time.time()
+        """
+    scoped = lint_source(tmp_path, source, DeterminismRule(),
+                         name="core/clock.py")
+    assert [f.rule_id for f in scoped] == ["DET01"]
+    assert scoped[0].line == 4
+    # The same code outside core/engine/hybrid/mem is fine (tools,
+    # scripts, and the sweep engine may read the host clock).
+    unscoped = lint_source(tmp_path, source, DeterminismRule(),
+                           name="tools/clock.py")
+    assert unscoped == []
+
+
+def test_det01_set_iteration_in_sim_state(tmp_path):
+    findings = lint_source(tmp_path, """\
+        def drain(blocks):
+            for b in {1, 2, 3}:
+                blocks.append(b)
+        """, DeterminismRule(), name="hybrid/drain.py")
+    assert [f.rule_id for f in findings] == ["DET01"]
+    assert findings[0].line == 2
+
+
+def test_det01_seeded_rng_is_clean(tmp_path):
+    findings = lint_source(tmp_path, """\
+        import random
+
+        def make(seed):
+            return random.Random(seed)
+        """, DeterminismRule(), name="core/rngs.py")
+    assert findings == []
+
+
+def test_tel01_emission_in_assignment(tmp_path):
+    findings = lint_source(tmp_path, """\
+        class Policy:
+            def on_epoch(self):
+                got = self.telemetry.event("tuner.trial")
+                return got
+        """, TelemetryPurityRule())
+    assert [f.rule_id for f in findings] == ["TEL01"]
+    assert findings[0].line == 3
+
+
+def test_tel01_bare_statement_is_clean(tmp_path):
+    findings = lint_source(tmp_path, """\
+        class Policy:
+            def on_epoch(self):
+                if self.telemetry.enabled:
+                    self.telemetry.event("tuner.trial")
+        """, TelemetryPurityRule())
+    assert findings == []
+
+
+def test_pck01_lambda_into_sweep_entry(tmp_path):
+    findings = lint_source(tmp_path, """\
+        from repro.experiments import sweep_compare
+
+        def drive(mixes, designs, cfg):
+            return sweep_compare(mixes, designs, cfg,
+                                 on_result=lambda cell: print(cell))
+        """, SweepPicklabilityRule())
+    assert [f.rule_id for f in findings] == ["PCK01"]
+    assert findings[0].line == 5
+
+
+def test_pck01_nested_function_into_sweep_entry(tmp_path):
+    findings = lint_source(tmp_path, """\
+        from repro.experiments import sweep_compare
+
+        def drive(mixes, designs, cfg):
+            def shaper(cell):
+                return cell
+            return sweep_compare(mixes, designs, cfg, shaper)
+        """, SweepPicklabilityRule())
+    assert [f.rule_id for f in findings] == ["PCK01"]
+    assert findings[0].line == 6
+
+
+def test_pck01_progress_callback_is_parent_side(tmp_path):
+    findings = lint_source(tmp_path, """\
+        from repro.experiments import sweep_compare
+
+        def drive(mixes, designs, cfg):
+            return sweep_compare(mixes, designs, cfg,
+                                 progress=lambda done: print(done))
+        """, SweepPicklabilityRule())
+    assert findings == []
+
+
+def test_key01_undocumented_key(tmp_path):
+    docs = tmp_path / "telemetry.md"
+    docs.write_text(FIXTURE_DOCS)
+    findings = lint_source(tmp_path, """\
+        def record(stats):
+            stats.add("cpu.accesses")
+            stats.add("gpu.accesses")
+            stats.add("cpu.bogus_counter")
+        """, StatsKeyRegistryRule(docs))
+    assert [f.rule_id for f in findings] == ["KEY01"]
+    assert findings[0].line == 4
+    assert "cpu.bogus_counter" in findings[0].message
+
+
+def test_key01_stale_documented_row(tmp_path):
+    docs = tmp_path / "telemetry.md"
+    docs.write_text(FIXTURE_DOCS + "| `ghost.counter` | nobody | gone |\n")
+    findings = lint_source(tmp_path, """\
+        def record(stats):
+            stats.add("cpu.accesses")
+            stats.add("gpu.accesses")
+        """, StatsKeyRegistryRule(docs))
+    assert [f.rule_id for f in findings] == ["KEY01"]
+    assert findings[0].path == str(docs)
+    assert "ghost.counter" in findings[0].message
+
+
+def test_key01_fstring_key_matches_placeholder_rows(tmp_path):
+    docs = tmp_path / "telemetry.md"
+    docs.write_text(FIXTURE_DOCS)
+    findings = lint_source(tmp_path, """\
+        def record(stats, klass):
+            stats.add(f"{klass}.accesses")
+        """, StatsKeyRegistryRule(docs))
+    assert findings == []
+
+
+def test_mut01_mutable_default(tmp_path):
+    findings = lint_source(tmp_path, """\
+        def collect(x, acc=[]):
+            acc.append(x)
+            return acc
+        """, MutableDefaultRule())
+    assert [f.rule_id for f in findings] == ["MUT01"]
+    assert findings[0].line == 1
+
+
+def test_mut01_unsorted_iteration_in_hashing_path(tmp_path):
+    source = """\
+        def digest_parts(overrides):
+            out = []
+            for key, value in overrides.items():
+                out.append((key, value))
+            return out
+        """
+    findings = lint_source(tmp_path, source, MutableDefaultRule(),
+                           name="config_io.py")
+    assert [f.rule_id for f in findings] == ["MUT01"]
+    assert findings[0].line == 3
+    # The same loop outside the digest/cache modules is unremarkable.
+    assert lint_source(tmp_path, source, MutableDefaultRule(),
+                       name="report.py") == []
+
+
+def test_sty03_unused_import(tmp_path):
+    findings = lint_source(tmp_path, """\
+        import os
+        import sys
+
+        print(sys.argv)
+        """, UnusedImportRule())
+    assert [f.rule_id for f in findings] == ["STY03"]
+    assert findings[0].line == 1
+    assert "os" in findings[0].message
+
+
+def test_noqa_suppression(tmp_path):
+    findings = lint_source(tmp_path, """\
+        import random
+
+        rng = random.Random()  # noqa: DET01 -- fixture, order irrelevant
+        """, DeterminismRule())
+    assert findings == []
+
+
+def test_rules_by_id_specs():
+    assert [type(r) for r in rules_by_id("DET01")] == [DeterminismRule]
+    assert [r.rule_id for r in rules_by_id("style")] == [
+        "STY01", "STY02", "STY03"]
+    assert len(rules_by_id("all")) == 8
+    with pytest.raises(ValueError):
+        rules_by_id("NOPE99")
+
+
+def test_src_tree_is_clean():
+    """The shipped tree satisfies every rule — the build gate itself."""
+    findings = run_rules(
+        [REPO / "src"],
+        default_rules(REPO / "docs" / "telemetry.md"))
+    assert findings == [], "\n".join(f.format() for f in findings)
+
+
+def test_sarif_shape(tmp_path):
+    rule = DeterminismRule()
+    findings = lint_source(tmp_path, "import random\nr = random.Random()\n",
+                           rule)
+    report = to_sarif(findings, [rule])
+    assert report["version"] == "2.1.0"
+    run = report["runs"][0]
+    rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+    assert "DET01" in rule_ids
+    result = run["results"][0]
+    assert result["ruleId"] == "DET01"
+    loc = result["locations"][0]["physicalLocation"]
+    assert loc["region"]["startLine"] == 2
+
+
+def run_cli(*argv: str, cwd: Path = REPO) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    return subprocess.run([sys.executable, "-m", "repro", "lint", *argv],
+                          cwd=cwd, env=env, capture_output=True, text=True)
+
+
+def test_cli_json_exit_code_on_findings(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import random\nr = random.Random()\n")
+    proc = run_cli("--json", str(bad))
+    assert proc.returncode == 1
+    report = json.loads(proc.stdout)
+    assert report["runs"][0]["results"], proc.stdout
+
+
+def test_cli_clean_file_exits_zero(tmp_path):
+    good = tmp_path / "good.py"
+    good.write_text('GREETING = "hello"\n')
+    proc = run_cli(str(good))
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "0 finding(s)" in proc.stdout

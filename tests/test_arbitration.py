@@ -1,6 +1,5 @@
 """Tests for class-fair channel arbitration and the migration queue gate."""
 
-import pytest
 
 from repro.config import ddr4, default_system
 from repro.engine.events import EventQueue

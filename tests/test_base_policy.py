@@ -1,6 +1,5 @@
 """Tests for the PartitionPolicy base-class defaults."""
 
-import pytest
 
 from repro.config import default_system
 from repro.engine.events import EventQueue

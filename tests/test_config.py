@@ -1,10 +1,8 @@
 """Tests for repro.config (paper Table I)."""
 
-import math
-
 import pytest
 
-from repro.config import (CACHELINE, KB, MB, CacheConfig, HybridConfig,
+from repro.config import (CACHELINE, KB, CacheConfig, HybridConfig,
                           MemTiming, SystemConfig, ddr4, default_system,
                           hbm2e, hbm3, validate_ratios)
 

@@ -1,13 +1,12 @@
 """Integration tests for the hybrid memory controller (Fig. 4 flow)."""
 
-import pytest
 
 from repro.config import MB, default_system
 from repro.engine.events import EventQueue
 from repro.engine.stats import Stats
 from repro.hybrid.controller import HybridMemoryController
 from repro.hybrid.policies.nopart import NoPartitionPolicy
-from repro.hybrid.setassoc import DIRTY, KLASS
+from repro.hybrid.setassoc import DIRTY
 
 
 def make_ctrl(policy=None, **cfg_kw):

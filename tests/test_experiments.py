@@ -5,7 +5,6 @@ import os
 import pytest
 
 from repro.config import default_system
-from repro.engine.simulator import simulate
 from repro.experiments.designs import (ALL_DESIGNS, FIG5_DESIGNS,
                                        design_config, make_policy)
 from repro.experiments.report import (PERF_HEADERS, format_table,

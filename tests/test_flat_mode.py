@@ -2,7 +2,6 @@
 
 from dataclasses import replace
 
-import pytest
 
 from repro.config import default_system
 from repro.core.hydrogen import HydrogenPolicy

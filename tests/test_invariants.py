@@ -6,11 +6,10 @@ tag-store consistency, response delivery, conservation of counters, and
 class confinement of insertions.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.config import KB, MB, default_system
+from repro.config import MB, default_system
 from repro.core.hydrogen import HydrogenPolicy
 from repro.engine.events import EventQueue
 from repro.engine.stats import Stats
@@ -69,7 +68,8 @@ def test_controller_invariants(accs, pol_name):
         # subset of bypasses.
         assert miss == (stats.get(f"{klass}.migrations")
                         + stats.get(f"{klass}.bypasses"))
-        assert stats.get(f"{klass}.queue_bypasses") <=             stats.get(f"{klass}.bypasses")
+        assert (stats.get(f"{klass}.queue_bypasses")
+                <= stats.get(f"{klass}.bypasses"))
     # 5. Occupancy never exceeds capacity.
     assert ctrl.store.occupancy() <= cfg.num_sets * cfg.hybrid.assoc
 

@@ -4,7 +4,6 @@ These use moderately sized traces (seconds each) and verify the *mechanism*
 level behaviour that the figure-scale benchmarks then aggregate.
 """
 
-import pytest
 
 from repro.config import default_system
 from repro.core.hydrogen import HydrogenPolicy

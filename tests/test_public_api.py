@@ -1,6 +1,5 @@
 """Public API surface tests: the documented imports exist and are usable."""
 
-import pytest
 
 
 def test_top_level_exports():

@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.config import CACHELINE, KB, MB
-from repro.traces.base import Trace, TraceSpec, characterize, generate_trace
+from repro.traces.base import TraceSpec, characterize, generate_trace
 from repro.traces.cpu import CPU_SPECS, cpu_spec
 from repro.traces.gpu import GPU_SPECS, gpu_spec
 from repro.traces.mixes import (ALL_MIXES, CPU_COPIES, MIXES, build_mix,
