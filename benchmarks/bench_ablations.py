@@ -11,11 +11,12 @@ from dataclasses import replace
 
 from conftest import BENCH_SCALE, SEED, run_once
 
+from repro import api
 from repro.config import default_system
 from repro.core.hydrogen import HydrogenPolicy
 from repro.engine.simulator import simulate
 from repro.experiments.report import format_table
-from repro.experiments.runner import geomean, run_mix, weighted_speedup
+from repro.experiments.runner import geomean, weighted_speedup
 from repro.traces.mixes import build_mix
 
 MIXES = ("C1", "C5")
@@ -36,7 +37,7 @@ def run_ablations(scale=1.0, seed=SEED):
     acc = {v: [] for v in variants}
     for name in MIXES:
         mix = build_mix(name, scale=scale, seed=seed)
-        base = run_mix("baseline", mix, cfg)
+        base = api.simulate(mix=mix, design="baseline", cfg=cfg)
         for vname, (factory, vcfg) in variants.items():
             res = simulate(vcfg, factory(), mix)
             acc[vname].append(weighted_speedup(

@@ -13,8 +13,8 @@ def test_fig10_weights_and_cores(benchmark, sweep_opts):
     print("\nFig. 10(a): CPU:GPU IPC weight sweep on C6 "
           "(slowdown vs running alone; lower is better):")
     print(format_table(["weight ratio", "CPU slowdown", "GPU slowdown"],
-                       [[r["weight_ratio"], r["cpu_slowdown"],
-                         r["gpu_slowdown"]] for r in out["weights"]]))
+                       [[r["weight_ratio"], r["slowdown_cpu"],
+                         r["slowdown_gpu"]] for r in out["weights"]]))
     print("\nFig. 10(b): CPU core-count scaling (weighted speedup):")
     print(format_table(["CPU cores", "hydrogen", "profess"],
                        [[r["cpu_cores"], r["hydrogen_speedup"],
@@ -22,7 +22,7 @@ def test_fig10_weights_and_cores(benchmark, sweep_opts):
 
     w = out["weights"]
     # Higher CPU weight lowers (or holds) the CPU slowdown; the GPU pays.
-    assert w[-1]["cpu_slowdown"] <= w[0]["cpu_slowdown"] * 1.05
-    assert w[-1]["gpu_slowdown"] >= w[0]["gpu_slowdown"] * 0.9
+    assert w[-1]["slowdown_cpu"] <= w[0]["slowdown_cpu"] * 1.05
+    assert w[-1]["slowdown_gpu"] >= w[0]["slowdown_gpu"] * 0.9
     assert len(out["cores"]) == 3
     assert all(r["hydrogen_speedup"] > 0.8 for r in out["cores"])

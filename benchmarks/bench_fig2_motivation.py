@@ -14,9 +14,9 @@ def test_fig2a_corun_slowdowns(benchmark, sweep_opts):
     print("\nFig. 2(a): co-run slowdown vs running alone:")
     print(format_table(
         ["mix", "CPU slowdown", "GPU slowdown"],
-        [[r["mix"], r["cpu_slowdown"], r["gpu_slowdown"]] for r in rows]))
-    gm_cpu = geomean([r["cpu_slowdown"] for r in rows])
-    gm_gpu = geomean([r["gpu_slowdown"] for r in rows])
+        [[r["mix"], r["slowdown_cpu"], r["slowdown_gpu"]] for r in rows]))
+    gm_cpu = geomean([r["slowdown_cpu"] for r in rows])
+    gm_gpu = geomean([r["slowdown_gpu"] for r in rows])
     print(f"geomean: CPU {gm_cpu:.2f}x  GPU {gm_gpu:.2f}x "
           f"(paper C1: CPU 1.94x, GPU 1.33x)")
 
@@ -29,10 +29,10 @@ def test_fig2a_corun_slowdowns(benchmark, sweep_opts):
     assert gm_gpu > 1.05
     by_mix = {r["mix"]: r for r in rows}
     for tiled in ("C11", "C12"):
-        assert by_mix[tiled]["cpu_slowdown"] > by_mix[tiled]["gpu_slowdown"]
-    assert by_mix["C5"]["gpu_slowdown"] > by_mix["C5"]["cpu_slowdown"]
-    spread = (max(r["cpu_slowdown"] for r in rows)
-              / min(r["cpu_slowdown"] for r in rows))
+        assert by_mix[tiled]["slowdown_cpu"] > by_mix[tiled]["slowdown_gpu"]
+    assert by_mix["C5"]["slowdown_gpu"] > by_mix["C5"]["slowdown_cpu"]
+    spread = (max(r["slowdown_cpu"] for r in rows)
+              / min(r["slowdown_cpu"] for r in rows))
     assert spread > 1.1  # different mixes need different partitioning
 
 
@@ -42,30 +42,30 @@ def test_fig2bcd_sensitivity(benchmark):
 
     print("\nFig. 2(b): fast-memory bandwidth sensitivity (C1):")
     print(format_table(["fast channels", "CPU perf", "GPU perf"],
-                       [[r["fast_channels"], r["cpu_perf"], r["gpu_perf"]]
+                       [[r["fast_channels"], r["perf_cpu"], r["perf_gpu"]]
                         for r in out["fast_bw"]]))
     print("\nFig. 2(c): fast-memory capacity sensitivity (C1):")
     print(format_table(["capacity frac", "CPU perf", "GPU perf", "CPU hit",
                         "GPU hit"],
-                       [[r["capacity_frac"], r["cpu_perf"], r["gpu_perf"],
-                         r["cpu_hit"], r["gpu_hit"]]
+                       [[r["capacity_frac"], r["perf_cpu"], r["perf_gpu"],
+                         r["hit_cpu"], r["hit_gpu"]]
                         for r in out["fast_cap"]]))
     print("\nFig. 2(d): slow-memory bandwidth sensitivity (C1):")
     print(format_table(["slow channels", "CPU perf", "GPU perf"],
-                       [[r["slow_channels"], r["cpu_perf"], r["gpu_perf"]]
+                       [[r["slow_channels"], r["perf_cpu"], r["perf_gpu"]]
                         for r in out["slow_bw"]]))
 
     bw_min = out["fast_bw"][-1]       # 1 channel
     cap_min = out["fast_cap"][-1]     # 1/8 capacity
     slow_min = out["slow_bw"][-1]     # 1 channel
     # Insight 1: GPU loses clearly more than the CPU when fast BW shrinks.
-    assert bw_min["gpu_perf"] < 0.9
-    assert bw_min["cpu_perf"] > bw_min["gpu_perf"]
+    assert bw_min["perf_gpu"] < 0.9
+    assert bw_min["perf_cpu"] > bw_min["perf_gpu"]
     # Insight 2: the CPU is clearly capacity-sensitive, and capacity hurts
     # the GPU less than bandwidth does (the decoupling motivation).
-    assert cap_min["cpu_perf"] < 0.85
-    caps = [r["cpu_perf"] for r in out["fast_cap"]]
+    assert cap_min["perf_cpu"] < 0.85
+    caps = [r["perf_cpu"] for r in out["fast_cap"]]
     assert caps == sorted(caps, reverse=True)  # monotone CPU decline
-    assert cap_min["gpu_perf"] > bw_min["gpu_perf"]
+    assert cap_min["perf_gpu"] > bw_min["perf_gpu"]
     # Insight 3: both suffer when slow BW shrinks.
-    assert slow_min["cpu_perf"] < 0.9 and slow_min["gpu_perf"] < 0.9
+    assert slow_min["perf_cpu"] < 0.9 and slow_min["perf_gpu"] < 0.9

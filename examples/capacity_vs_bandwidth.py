@@ -10,30 +10,29 @@ Run:  python examples/capacity_vs_bandwidth.py
 
 from dataclasses import replace
 
-from repro import build_mix, default_system
+from repro import api, build_mix, default_system
 from repro.experiments.report import format_table
-from repro.experiments.runner import run_mix
 
 
 def main() -> None:
     base = default_system()
     mix = build_mix("C1", cpu_refs=5_000, gpu_refs=40_000)
-    ref = run_mix("baseline", mix, base)
+    ref = api.simulate(mix=mix, design="baseline", cfg=base)
 
     rows = []
     for ch in (4, 2, 1):
         cfg = base.with_fast(replace(base.fast, channels=ch))
-        r = run_mix("baseline", mix, cfg)
+        r = api.simulate(mix=mix, design="baseline", cfg=cfg)
         rows.append([f"{ch} channels", "bandwidth",
-                     ref.cpu_cycles / r.cpu_cycles,
-                     ref.gpu_cycles / r.gpu_cycles])
+                     ref.cycles_cpu / r.cycles_cpu,
+                     ref.cycles_gpu / r.cycles_gpu])
     for frac in (1.0, 0.5, 0.25):
         cap = int(base.fast.capacity * frac)
         cfg = base.with_fast(replace(base.fast, capacity=cap))
-        r = run_mix("baseline", mix, cfg)
+        r = api.simulate(mix=mix, design="baseline", cfg=cfg)
         rows.append([f"{cap >> 20} MB", "capacity",
-                     ref.cpu_cycles / r.cpu_cycles,
-                     ref.gpu_cycles / r.gpu_cycles])
+                     ref.cycles_cpu / r.cycles_cpu,
+                     ref.cycles_gpu / r.cycles_gpu])
 
     print("Relative performance when shrinking one fast-memory resource")
     print("(1.0 = full-resource configuration; Fig. 2(b)/(c) shape):\n")

@@ -8,14 +8,14 @@ the built-in designs on one mix.
 
 This is the template for plugging your own policy into the controller:
 subclass ``PartitionPolicy`` (or ``HydrogenPolicy`` for the decoupled
-machinery), override the decision hooks, and hand it to ``simulate``.
+machinery), override the decision hooks, and hand the instance to
+``repro.api.simulate`` as ``design=``.
 
 Run:  python examples/custom_policy.py
 """
 
-from repro import build_mix, default_system, simulate
+from repro import api, build_mix, default_system
 from repro.core.partition import DecoupledMap
-from repro.experiments.designs import make_policy
 from repro.experiments.report import format_table
 from repro.experiments.runner import weighted_speedup
 from repro.hybrid.policies.base import PartitionPolicy
@@ -46,14 +46,13 @@ class StaticHalfPolicy(PartitionPolicy):
 def main() -> None:
     cfg = default_system()
     mix = build_mix("C3", cpu_refs=5_000, gpu_refs=40_000)
-    base = simulate(cfg, make_policy("baseline"), mix)
+    base = api.simulate(mix=mix, design="baseline", cfg=cfg)
 
     rows = []
-    for policy in (make_policy("waypart"), StaticHalfPolicy(),
-                   make_policy("hydrogen-dp")):
-        res = simulate(cfg, policy, mix)
+    for design in ("waypart", StaticHalfPolicy(), "hydrogen-dp"):
+        res = api.simulate(mix=mix, design=design, cfg=cfg)
         combo = weighted_speedup(res, base, cfg.weight_cpu, cfg.weight_gpu)
-        rows.append([policy.name, combo.weighted_speedup,
+        rows.append([res.policy, combo.weighted_speedup,
                      combo.speedup_cpu, combo.speedup_gpu])
 
     print("Custom policy vs built-in designs on C3 "

@@ -12,8 +12,7 @@ Run:  python examples/flat_mode.py
 
 from dataclasses import replace
 
-from repro import build_mix, default_system, simulate
-from repro.core.hydrogen import HydrogenPolicy
+from repro import api, build_mix, default_system
 from repro.experiments.report import format_table
 
 
@@ -23,13 +22,13 @@ def main() -> None:
     for mode in ("cache", "flat"):
         cfg = default_system()
         cfg = replace(cfg, hybrid=replace(cfg.hybrid, mode=mode))
-        res = simulate(cfg, HydrogenPolicy.dp_token(), mix)
+        res = api.simulate(mix=mix, design="hydrogen-dp-token", cfg=cfg)
         slow_bytes = (res.stats.get("slow.bytes_read", 0)
                       + res.stats.get("slow.bytes_written", 0))
         migs = (res.stats.get("cpu.migrations", 0)
                 + res.stats.get("gpu.migrations", 0))
         toks = res.stats.get("gpu.migration_tokens", 0)
-        rows.append([mode, res.cpu_cycles, res.gpu_cycles,
+        rows.append([mode, res.cycles_cpu, res.cycles_gpu,
                      res.hit_rate("cpu"), slow_bytes / 2**20,
                      migs, toks])
 

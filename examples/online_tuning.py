@@ -13,8 +13,7 @@ Run:  python examples/online_tuning.py [MIX]   (default C5)
 
 import sys
 
-from repro import EpochRecorder, build_mix, default_system, simulate
-from repro.core.hydrogen import HydrogenPolicy
+from repro import EpochRecorder, api, build_mix, default_system
 from repro.experiments.report import epoch_table, format_events
 
 
@@ -23,7 +22,8 @@ def main() -> None:
     cfg = default_system()
     mix = build_mix(mix_name, cpu_refs=6_000, gpu_refs=50_000)
     recorder = EpochRecorder()
-    res = simulate(cfg, HydrogenPolicy.full(), mix, telemetry=recorder)
+    res = api.simulate(mix=mix, design="hydrogen", cfg=cfg,
+                       telemetry=recorder)
 
     print(f"{mix_name}: {len(recorder.epochs)} epochs of "
           f"{cfg.epochs.epoch_cycles:.0f} cycles, "

@@ -7,16 +7,14 @@ Run:  python examples/quickstart.py [MIX]   (default C1)
 
 import sys
 
-from repro import build_mix, default_system, simulate
-from repro.core.hydrogen import HydrogenPolicy
-from repro.experiments.designs import make_policy
+from repro import api, build_mix, default_system
 from repro.experiments.runner import weighted_speedup
 
 
 def main() -> None:
     mix_name = sys.argv[1] if len(sys.argv) > 1 else "C3"
     cfg = default_system()
-    # Moderately shortened traces: finishes in ~15 s while leaving the
+    # Moderately shortened traces: finishes in seconds while leaving the
     # online tuner enough epochs to converge and pay off.
     mix = build_mix(mix_name, cpu_refs=8_000, gpu_refs=60_000)
 
@@ -27,13 +25,13 @@ def main() -> None:
           f"{cfg.fast.bandwidth_gbps:.0f} GB/s) + {cfg.slow.name} "
           f"({cfg.slow.capacity >> 20} MB, {cfg.slow.bandwidth_gbps:.0f} GB/s)")
 
-    base = simulate(cfg, make_policy("baseline"), mix)
-    hydro = simulate(cfg, HydrogenPolicy.full(), mix)
+    base = api.simulate(mix=mix, design="baseline", cfg=cfg)
+    hydro = api.simulate(mix=mix, design="hydrogen", cfg=cfg)
     combo = weighted_speedup(hydro, base, cfg.weight_cpu, cfg.weight_gpu)
 
     print(f"\n{'':24s}{'baseline':>12s}{'hydrogen':>12s}")
-    print(f"{'CPU cycles':24s}{base.cpu_cycles:12.0f}{hydro.cpu_cycles:12.0f}")
-    print(f"{'GPU cycles':24s}{base.gpu_cycles:12.0f}{hydro.gpu_cycles:12.0f}")
+    print(f"{'CPU cycles':24s}{base.cycles_cpu:12.0f}{hydro.cycles_cpu:12.0f}")
+    print(f"{'GPU cycles':24s}{base.cycles_gpu:12.0f}{hydro.cycles_gpu:12.0f}")
     print(f"{'CPU fast hit rate':24s}{base.hit_rate('cpu'):12.3f}"
           f"{hydro.hit_rate('cpu'):12.3f}")
     print(f"{'GPU fast hit rate':24s}{base.hit_rate('gpu'):12.3f}"

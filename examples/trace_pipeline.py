@@ -9,9 +9,8 @@ Run:  python examples/trace_pipeline.py [OUTDIR]   (default ./traces-out)
 import sys
 from pathlib import Path
 
-from repro import default_system, simulate
+from repro import api, default_system
 from repro.cachesim.hierarchy import CacheHierarchy, filter_trace
-from repro.experiments.designs import make_policy
 from repro.traces.base import characterize, generate_trace
 from repro.traces.cpu import cpu_spec
 from repro.traces.io import load_mix, save_mix
@@ -40,9 +39,9 @@ def main() -> None:
     # 3. Reload and simulate from the files (T2).
     mix2 = load_mix("C3", outdir)
     assert isinstance(mix2, WorkloadMix)
-    res = simulate(cfg, make_policy("hydrogen-dp-token"), mix2)
-    print(f"simulated reloaded mix: CPU {res.cpu_cycles:.0f} cycles, "
-          f"GPU {res.gpu_cycles:.0f} cycles, "
+    res = api.simulate(mix=mix2, design="hydrogen-dp-token", cfg=cfg)
+    print(f"simulated reloaded mix: CPU {res.cycles_cpu:.0f} cycles, "
+          f"GPU {res.cycles_gpu:.0f} cycles, "
           f"hits {res.hit_rate('cpu'):.2f}/{res.hit_rate('gpu'):.2f}")
 
 

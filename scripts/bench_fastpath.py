@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Fastpath-vs-reference perf record: BENCH_fastpath.json.
+
+Times the same workload under both simulation engines, verifies the
+results are bit-exact (full ``SimResult`` equality per cell), and merges
+a record into ``BENCH_fastpath.json`` so the perf trajectory is tracked
+in-repo.  Two modes:
+
+* default (``fig5`` record) — the ``bench_fig5_overall.py`` workload:
+  all 12 mixes x the Fig. 5 design set at scale 0.4.  Minutes of
+  runtime; run it when the engine changes.
+* ``--smoke`` (``smoke`` record) — two mixes x one design at tiny
+  scale; seconds of runtime.  Wired into ``scripts/check_all.py`` as
+  the ``bench`` gate, so every full check re-validates equivalence and
+  refreshes the smoke timing.
+
+Exit status is non-zero iff the engines disagree — the timing itself
+never fails the gate (machines differ; exactness must not).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.config import default_system  # noqa: E402
+from repro.engine.simulator import simulate  # noqa: E402
+from repro.experiments.designs import (FIG5_DESIGNS,  # noqa: E402
+                                       design_config, make_policy)
+from repro.traces.mixes import ALL_MIXES, build_mix  # noqa: E402
+
+OUT = REPO / "BENCH_fastpath.json"
+
+
+def run_workload(engine, designs, mixes, cfg, repeat):
+    """Best-of-``repeat`` wall time plus the per-cell results."""
+    best, results = None, {}
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        for mix in mixes:
+            for design in designs:
+                res = simulate(design_config(design, cfg),
+                               make_policy(design), mix, engine=engine)
+                results[f"{design}/{mix.name}"] = res
+        dt = time.perf_counter() - t0
+        best = dt if best is None else min(best, dt)
+    return best, results
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(prog="bench_fastpath",
+                                     description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny workload; update the 'smoke' record")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="trace scale (default: 0.4, smoke 0.05)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--repeat", type=int, default=1,
+                        help="best-of-N timing repeats")
+    parser.add_argument("--out", type=Path, default=OUT)
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        record_key, mixes, designs = "smoke", ["C1", "C5"], ("hydrogen",)
+        scale = 0.05 if args.scale is None else args.scale
+    else:
+        record_key, mixes = "fig5", list(ALL_MIXES)
+        designs = FIG5_DESIGNS
+        scale = 0.4 if args.scale is None else args.scale
+
+    cfg = default_system()
+    built = [build_mix(m, scale=scale, seed=args.seed) for m in mixes]
+    ref_s, ref = run_workload("reference", designs, built, cfg, args.repeat)
+    fast_s, fast = run_workload("fast", designs, built, cfg, args.repeat)
+    mismatched = sorted(k for k in ref if ref[k] != fast[k])
+
+    record = {
+        "mixes": mixes,
+        "designs": list(designs),
+        "scale": scale,
+        "seed": args.seed,
+        "repeat": args.repeat,
+        "reference_seconds": round(ref_s, 3),
+        "fast_seconds": round(fast_s, 3),
+        "speedup": round(ref_s / fast_s, 3),
+        "equivalent": not mismatched,
+    }
+    data = {}
+    if args.out.exists():
+        data = json.loads(args.out.read_text())
+    data[record_key] = record
+    args.out.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+    print(f"bench_fastpath[{record_key}]: reference {ref_s:.2f}s, "
+          f"fast {fast_s:.2f}s, speedup x{record['speedup']:.2f}, "
+          f"equivalent={record['equivalent']} -> {args.out.name}")
+    if mismatched:
+        print(f"bench_fastpath: ENGINES DISAGREE on {mismatched}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

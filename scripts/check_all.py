@@ -9,6 +9,8 @@ PASS/FAIL/SKIP summary:
   docs/analysis.md);
 * ``lint-aux`` — style-only lint over tests/benchmarks/scripts/examples;
 * ``docs`` — public-API docstring/docs coverage (scripts/check_docs.py);
+* ``bench`` — fastpath-vs-reference smoke timing + bit-exactness
+  (scripts/bench_fastpath.py --smoke; refreshes BENCH_fastpath.json);
 * ``ruff`` / ``mypy`` — external style and type gates, configured in
   pyproject.toml.  They are optional dependencies (the ``lint`` extra);
   when not installed the gate reports SKIP rather than failing, and the
@@ -40,6 +42,7 @@ GATES: dict[str, list[str]] = {
     "lint-aux": [sys.executable, "-m", "repro", "lint", "--rules", "style",
                  "tests", "benchmarks", "scripts", "examples"],
     "docs": [sys.executable, "scripts/check_docs.py"],
+    "bench": [sys.executable, "scripts/bench_fastpath.py", "--smoke"],
     "ruff": [sys.executable, "-m", "ruff", "check",
              "src", "tests", "benchmarks", "scripts", "examples"],
     "mypy": [sys.executable, "-m", "mypy"],

@@ -19,7 +19,8 @@ REPO = Path(__file__).resolve().parents[1]
 API_DOC = REPO / "docs" / "api.md"
 
 #: Public modules whose ``__all__`` defines the documented surface.
-PUBLIC_MODULES = ("repro", "repro.experiments", "repro.analysis")
+PUBLIC_MODULES = ("repro", "repro.api", "repro.experiments",
+                  "repro.analysis")
 
 
 def public_symbols() -> list[tuple[str, str, object]]:

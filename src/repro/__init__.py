@@ -1,7 +1,15 @@
 """Hydrogen reproduction: contention-aware hybrid memory for heterogeneous
 CPU-GPU architectures (Li & Gao, SC 2024).
 
-Public API quick tour::
+Public API quick tour — the keyword-only :mod:`repro.api` facade is the
+supported programmatic entry point::
+
+    from repro import api
+
+    result = api.simulate(mix="C1", design="hydrogen", scale=0.1)
+    print(result.ipc_cpu, result.ipc_gpu, result.hit_rate("cpu"))
+
+Lower-level building blocks remain importable for custom policies::
 
     from repro import default_system, build_mix, simulate
     from repro.core.hydrogen import HydrogenPolicy
@@ -9,7 +17,6 @@ Public API quick tour::
     cfg = default_system()
     mix = build_mix("C1")
     result = simulate(cfg, HydrogenPolicy.full(), mix)
-    print(result.ipc_cpu, result.ipc_gpu, result.hit_rate("cpu"))
 
 Per-epoch observability (see docs/telemetry.md)::
 
@@ -29,10 +36,12 @@ from repro.engine.simulator import SimResult, Simulation, simulate
 from repro.telemetry import (EpochRecorder, JsonlSink, NullSink, Telemetry,
                              TeeSink, read_jsonl)
 from repro.traces.mixes import ALL_MIXES, MIXES, WorkloadMix, build_mix
+from repro import api
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "api",
     "SystemConfig", "default_system", "ddr4", "hbm2e", "hbm3",
     "validate_ratios", "SimResult", "Simulation", "simulate",
     "ALL_MIXES", "MIXES", "WorkloadMix", "build_mix",

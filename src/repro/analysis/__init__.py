@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from pathlib import Path
 
+from repro.analysis.apiusage import ApiUsageRule
 from repro.analysis.determinism import DeterminismRule
 from repro.analysis.framework import (Finding, Module, Rule,
                                       iter_python_files, run_rules)
@@ -35,10 +36,10 @@ from repro.analysis.statskeys import StatsKeyRegistryRule
 from repro.analysis.style import (LineLengthRule, UnusedImportRule,
                                   WhitespaceRule)
 
-#: The five domain rules (always on) in reporting order.
+#: The six domain rules (always on) in reporting order.
 DOMAIN_RULES = (DeterminismRule, TelemetryPurityRule,
                 SweepPicklabilityRule, StatsKeyRegistryRule,
-                MutableDefaultRule)
+                MutableDefaultRule, ApiUsageRule)
 
 #: Dependency-free style gates (subset of the ruff configuration).
 STYLE_RULES = (LineLengthRule, WhitespaceRule, UnusedImportRule)
@@ -52,12 +53,12 @@ def default_rules(docs_path: str | Path | None = None,
 
     ``docs_path`` pins the Stats-counter registry document
     (auto-discovered from the linted tree when None); ``style=False``
-    drops the STY* gates and runs only the five domain rules.
+    drops the STY* gates and runs only the six domain rules.
     """
     rules: list[Rule] = [DeterminismRule(), TelemetryPurityRule(),
                          SweepPicklabilityRule(),
                          StatsKeyRegistryRule(docs_path),
-                         MutableDefaultRule()]
+                         MutableDefaultRule(), ApiUsageRule()]
     if style:
         rules.extend(cls() for cls in STYLE_RULES)
     return rules
@@ -102,7 +103,7 @@ __all__ = [
     "Finding", "Module", "Rule", "run_rules", "iter_python_files",
     "default_rules", "rules_by_id", "to_sarif", "sarif_json",
     "DeterminismRule", "TelemetryPurityRule", "SweepPicklabilityRule",
-    "StatsKeyRegistryRule", "MutableDefaultRule",
+    "StatsKeyRegistryRule", "MutableDefaultRule", "ApiUsageRule",
     "LineLengthRule", "WhitespaceRule", "UnusedImportRule",
     "DOMAIN_RULES", "STYLE_RULES", "ALL_RULES",
 ]

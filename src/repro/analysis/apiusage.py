@@ -1,0 +1,68 @@
+"""API01: forbid intra-package use of deprecated entry points.
+
+PR 4 moved the supported programmatic surface behind the keyword-only
+:mod:`repro.api` facade; the old free functions
+(``repro.experiments.runner.run_mix`` and friends) and the camel-order
+:class:`~repro.engine.simulator.SimResult` aliases (``cpu_cycles`` /
+``gpu_cycles``) remain as deprecation shims for external callers only.
+Library code importing a shim would warn on every internal call and
+defeat the migration, so this rule fails the build when a module inside
+the ``repro`` package imports a deprecated name or reads a deprecated
+result attribute.  The re-export hub ``repro/experiments/__init__.py``
+carries explicit ``# noqa: API01`` markers — keeping the shims importable
+for external code is its job.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.framework import Finding, Module, Rule
+
+#: Deprecated import targets: module -> shim names that must not be
+#: imported from inside the ``repro`` package.
+DEPRECATED_IMPORTS = {
+    "repro.experiments.runner": frozenset(
+        {"run_mix", "compare_designs", "corun_slowdowns"}),
+    "repro.experiments.sweep": frozenset({"sweep_compare", "sweep_corun"}),
+    "repro.experiments": frozenset(
+        {"run_mix", "compare_designs", "corun_slowdowns",
+         "sweep_compare", "sweep_corun"}),
+}
+
+#: Deprecated SimResult attribute aliases -> unified replacement.
+DEPRECATED_ATTRS = {"cpu_cycles": "cycles_cpu", "gpu_cycles": "cycles_gpu"}
+
+
+class ApiUsageRule(Rule):
+    """Flag imports/uses of deprecated entry points inside ``repro``."""
+
+    rule_id = "API01"
+    name = "api-usage"
+    severity = "error"
+    description = ("library code must use repro.api / unified result "
+                   "names, not the deprecated shims")
+
+    def check(self, module: Module) -> Iterable[Finding]:
+        if "repro" not in module.parts():
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.level == 0:
+                bad = DEPRECATED_IMPORTS.get(node.module or "")
+                if not bad:
+                    continue
+                for alias in node.names:
+                    if alias.name in bad:
+                        yield self.finding(
+                            module, node,
+                            f"import of deprecated {node.module}."
+                            f"{alias.name}; call repro.api (or the "
+                            f"private _{alias.name} impl) instead")
+            elif isinstance(node, ast.Attribute) and \
+                    isinstance(node.ctx, ast.Load) and \
+                    node.attr in DEPRECATED_ATTRS:
+                yield self.finding(
+                    module, node,
+                    f"deprecated result attribute .{node.attr}; "
+                    f"use .{DEPRECATED_ATTRS[node.attr]}")

@@ -1,0 +1,158 @@
+"""Stable keyword-only facade over the simulation and sweep machinery.
+
+This module is the supported entry point for programmatic use.  Every
+function takes keyword-only arguments, accepts mixes by Table II name or
+as built :class:`~repro.traces.mixes.WorkloadMix` objects, and defaults
+to the vectorized fast-path engine (bit-exact with the reference event
+loop — see docs/api.md).  The older free functions in
+``repro.experiments`` (``run_mix``, ``compare_designs``, ...) remain as
+deprecated shims that delegate here.
+
+Quick tour::
+
+    from repro import api
+
+    res = api.simulate(mix="C1", design="hydrogen", scale=0.05)
+    grid = api.sweep(mixes=("C1", "C2"), designs=("hydrogen",), scale=0.05)
+    per = api.compare(mix="C1", designs=("hydrogen", "waypart"), scale=0.05)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import SystemConfig, default_system
+from repro.engine.simulator import ENGINES, SimResult, resolve_engine
+from repro.experiments.designs import FIG5_DESIGNS
+from repro.experiments.runner import (ComboResult, _compare_designs,
+                                      _corun_slowdowns, _run_mix, env_scale,
+                                      geomean)
+from repro.experiments.sweep import SweepEngine, SweepStats, _sweep_compare
+from repro.traces.mixes import WorkloadMix, build_mix
+
+__all__ = ["simulate", "sweep", "compare", "corun", "SweepResult",
+           "SimResult", "ComboResult", "ENGINES"]
+
+
+def _resolve_scale(scale: float | None) -> float:
+    """Explicit ``scale`` wins; ``None`` defers to ``$REPRO_SCALE`` / 1.0."""
+    return scale if scale is not None else env_scale()
+
+
+def _coerce_mix(mix: str | WorkloadMix, scale: float | None,
+                seed: int) -> WorkloadMix:
+    """A Table II name becomes a built mix; a built mix passes through."""
+    if isinstance(mix, str):
+        return build_mix(mix, scale=_resolve_scale(scale), seed=seed)
+    return mix
+
+
+def simulate(*, mix: str | WorkloadMix, design: str = "hydrogen",
+             cfg: SystemConfig | None = None, engine: str | None = "fast",
+             scale: float | None = None, seed: int = 7,
+             native_geometry: bool = True, **sim_kw) -> SimResult:
+    """Run one design on one mix; returns a :class:`SimResult`.
+
+    ``mix`` is a Table II name (built with ``scale``/``seed``; ``scale``
+    ``None`` defers to ``$REPRO_SCALE``) or an already-built
+    :class:`~repro.traces.mixes.WorkloadMix`.  ``design`` is a registry
+    name or a policy instance.  ``engine`` selects the simulation core
+    (``"fast"``, the default, is bit-exact with ``"reference"``;
+    ``None`` defers to ``$REPRO_ENGINE``).  Extra keywords — e.g.
+    ``telemetry=`` — pass through to the simulator.
+    """
+    resolve_engine(engine)  # fail fast on typos, before building the mix
+    return _run_mix(design, _coerce_mix(mix, scale, seed), cfg,
+                    native_geometry=native_geometry, engine=engine,
+                    **sim_kw)
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Typed result of :func:`sweep`: the full (design x mix) grid.
+
+    ``grid`` maps ``design -> {mix_name -> ComboResult}`` with
+    ``"baseline"`` first; ``stats`` carries the engine's cache/parallel
+    counters for reporting.
+    """
+
+    grid: dict[str, dict[str, ComboResult]]
+    mixes: tuple[str, ...]
+    designs: tuple[str, ...]
+    stats: SweepStats
+
+    def geomean_speedups(self) -> dict[str, float]:
+        """Per-design geometric-mean weighted speedup across the mixes."""
+        return {design: geomean(c.weighted_speedup for c in by_mix.values())
+                for design, by_mix in self.grid.items()}
+
+    def rows(self) -> list[dict]:
+        """Flat per-cell rows using the unified snake_case vocabulary."""
+        return [{"design": design, "mix": mix_name,
+                 "cycles_cpu": combo.result.cycles_cpu,
+                 "cycles_gpu": combo.result.cycles_gpu,
+                 "speedup_cpu": combo.speedup_cpu,
+                 "speedup_gpu": combo.speedup_gpu,
+                 "weighted_speedup": combo.weighted_speedup}
+                for design, by_mix in self.grid.items()
+                for mix_name, combo in by_mix.items()]
+
+
+def sweep(*, mixes, designs: tuple[str, ...] = FIG5_DESIGNS,
+          cfg: SystemConfig | None = None, engine: str | None = "fast",
+          scale: float | None = None, seed: int = 7,
+          native_geometry: bool = True, jobs: int | None = None,
+          cache=None, progress=None, trace_dir: str | None = None,
+          **sim_kw) -> SweepResult:
+    """Baseline + ``designs`` on every mix, as one batched grid.
+
+    Mixes are names or built mixes; the whole grid (shared baselines
+    included) goes through one :class:`~repro.experiments.sweep.
+    SweepEngine` batch, so ``jobs`` fans cells out across processes and
+    ``cache`` recalls previously simulated cells from disk.  ``trace_dir``
+    streams one telemetry JSONL per simulated cell.  Returns a
+    :class:`SweepResult`.
+    """
+    resolve_engine(engine)
+    cfg = cfg or default_system()
+    runner = SweepEngine(workers=jobs, cache=cache, progress=progress)
+    grid = _sweep_compare(list(mixes), tuple(designs), cfg,
+                          scale=_resolve_scale(scale), seed=seed,
+                          native_geometry=native_geometry, runner=runner,
+                          trace_dir=trace_dir, engine=engine, **sim_kw)
+    first = next(iter(grid.values()), {})
+    return SweepResult(grid=grid, mixes=tuple(first),
+                       designs=tuple(grid), stats=runner.stats)
+
+
+def compare(*, mix: str | WorkloadMix, designs: tuple[str, ...],
+            cfg: SystemConfig | None = None, engine: str | None = "fast",
+            scale: float | None = None, seed: int = 7,
+            jobs: int | None = None, cache=None, progress=None,
+            trace_dir: str | None = None,
+            **sim_kw) -> dict[str, ComboResult]:
+    """Baseline + ``designs`` on one mix, normalized to the baseline.
+
+    A thin single-mix convenience over :func:`sweep`; returns
+    ``{design: ComboResult}`` with ``"baseline"`` first.
+    """
+    resolve_engine(engine)
+    return _compare_designs(_coerce_mix(mix, scale, seed), tuple(designs),
+                            cfg, jobs=jobs, cache=cache, progress=progress,
+                            trace_dir=trace_dir, engine=engine, **sim_kw)
+
+
+def corun(*, mix: str | WorkloadMix, design="baseline",
+          cfg: SystemConfig | None = None, engine: str | None = "fast",
+          scale: float | None = None, seed: int = 7, jobs: int | None = None,
+          cache=None, progress=None, **sim_kw) -> dict[str, float]:
+    """Fig. 2(a): per-class slowdown of co-running vs running alone.
+
+    ``design`` is a registry name or a zero-argument policy factory.
+    Returns ``{"slowdown_cpu", "slowdown_gpu", "corun_cycles_cpu",
+    "corun_cycles_gpu"}``; absent classes report NaN.
+    """
+    resolve_engine(engine)
+    return _corun_slowdowns(_coerce_mix(mix, scale, seed), cfg, design,
+                            jobs=jobs, cache=cache, progress=progress,
+                            engine=engine, **sim_kw)

@@ -28,19 +28,19 @@ import json
 import sys
 from pathlib import Path
 
+from repro import api
 from repro.analysis import default_rules, rules_by_id, run_rules, sarif_json
 from repro.config import default_system, hbm3
 from repro.config_io import apply_overrides, config_from_json, config_to_json
-from repro.engine.simulator import simulate
+from repro.engine.simulator import ENGINES
 from repro.experiments import figures
 from repro.experiments.cache import SweepCache, resolve_cache
-from repro.experiments.designs import (ALL_DESIGNS, FIG5_DESIGNS,
-                                       design_config, make_policy)
+from repro.experiments.designs import ALL_DESIGNS, FIG5_DESIGNS
 from repro.experiments.report import (PERF_HEADERS, epoch_table,
                                       format_events, format_sweep_stats,
                                       format_table, perf_csv_rows, to_csv)
-from repro.experiments.runner import compare_designs, geomean, weighted_speedup
-from repro.experiments.sweep import MixSpec, SweepEngine, sweep_compare
+from repro.experiments.runner import geomean, weighted_speedup
+from repro.experiments.sweep import MixSpec
 from repro.telemetry import EpochRecorder, JsonlSink, TeeSink
 from repro.traces.cpu import CPU_SPECS
 from repro.traces.gpu import GPU_SPECS
@@ -90,8 +90,6 @@ def _sweep_kwargs(args, *, default_on: bool = False) -> dict:
 def cmd_run(args) -> int:
     cfg = _load_cfg(args)
     mix = _build_mix(args)
-    policy = make_policy(args.design)
-    cfg = design_config(args.design, cfg)
     sim_kw = {}
     sink = None
     if getattr(args, "trace", None):
@@ -100,16 +98,17 @@ def cmd_run(args) -> int:
                                            "seed": args.seed})
         sim_kw["telemetry"] = sink
     try:
-        res = simulate(cfg, policy, mix, **sim_kw)
+        res = api.simulate(mix=mix, design=args.design, cfg=cfg,
+                           engine=args.engine, **sim_kw)
     finally:
         if sink is not None:
             sink.close()
     out = {
         "mix": res.mix, "design": res.policy,
-        "cpu_cycles": res.cpu_cycles, "gpu_cycles": res.gpu_cycles,
+        "cycles_cpu": res.cycles_cpu, "cycles_gpu": res.cycles_gpu,
         "ipc_cpu": round(res.ipc_cpu, 4), "ipc_gpu": round(res.ipc_gpu, 4),
-        "cpu_hit_rate": round(res.hit_rate("cpu"), 4),
-        "gpu_hit_rate": round(res.hit_rate("gpu"), 4),
+        "hit_rate_cpu": round(res.hit_rate("cpu"), 4),
+        "hit_rate_gpu": round(res.hit_rate("gpu"), 4),
         "energy_uj": round(res.energy.total_nj / 1e3, 2),
         "policy_state": res.policy_state,
     }
@@ -121,9 +120,9 @@ def cmd_compare(args) -> int:
     cfg = _load_cfg(args)
     mix = _build_mix(args)
     designs = tuple(args.designs.split(",")) if args.designs else FIG5_DESIGNS
-    out = compare_designs(mix, designs, cfg,
-                          trace_dir=getattr(args, "trace", None),
-                          **_sweep_kwargs(args))
+    out = api.compare(mix=mix, designs=designs, cfg=cfg, engine=args.engine,
+                      trace_dir=getattr(args, "trace", None),
+                      **_sweep_kwargs(args))
     rows = [[name, c.weighted_speedup, c.speedup_cpu, c.speedup_gpu,
              c.result.hit_rate("cpu"), c.result.hit_rate("gpu")]
             for name, c in out.items()]
@@ -151,12 +150,13 @@ def cmd_sweep(args) -> int:
     designs = tuple(args.designs.split(",")) if args.designs else FIG5_DESIGNS
     cfg = _load_cfg(args)
 
-    engine = SweepEngine(workers=args.jobs, cache=cache,
-                         progress=None if args.quiet else print)
     specs = [MixSpec(m, scale=args.scale, seed=args.seed) for m in mixes]
-    results = sweep_compare(specs, designs, cfg, engine=engine,
-                            trace_dir=getattr(args, "trace", None))
+    res = api.sweep(mixes=specs, designs=designs, cfg=cfg,
+                    engine=args.engine, jobs=args.jobs, cache=cache,
+                    progress=None if args.quiet else print,
+                    trace_dir=getattr(args, "trace", None))
 
+    results = res.grid
     names = list(results)
     rows = [[m] + [results[d][m].weighted_speedup for d in names]
             for m in mixes]
@@ -167,7 +167,7 @@ def cmd_sweep(args) -> int:
     if args.csv:
         to_csv(PERF_HEADERS, perf_csv_rows(results), args.csv)
         print(f"perf rows written to {args.csv}")
-    print(format_sweep_stats(engine.stats))
+    print(format_sweep_stats(res.stats))
     return 0
 
 
@@ -180,8 +180,6 @@ def cmd_trace(args) -> int:
     """
     cfg = _load_cfg(args)
     mix = _build_mix(args)
-    policy = make_policy(args.design)
-    cfg = design_config(args.design, cfg)
     recorder = EpochRecorder()
     sink = recorder
     jsonl = None
@@ -191,7 +189,8 @@ def cmd_trace(args) -> int:
                                             "seed": args.seed})
         sink = TeeSink(recorder, jsonl)
     try:
-        res = simulate(cfg, policy, mix, telemetry=sink)
+        res = api.simulate(mix=mix, design=args.design, cfg=cfg,
+                           engine=args.engine, telemetry=sink)
     finally:
         if jsonl is not None:
             jsonl.close()
@@ -347,6 +346,12 @@ def make_parser() -> argparse.ArgumentParser:
             sp.add_argument("--mix", default="C1",
                             help="C1..C12 or 'gcc-mcf:backprop'")
 
+    def engine_opt(sp):
+        sp.add_argument("--engine", choices=list(ENGINES), default=None,
+                        help="simulation core: 'fast' (vectorized, "
+                             "bit-exact) or 'reference' (default "
+                             "$REPRO_ENGINE or reference)")
+
     def sweep_opts(sp):
         sp.add_argument("--jobs", type=int, default=None,
                         help="worker processes for the sweep engine "
@@ -362,6 +367,7 @@ def make_parser() -> argparse.ArgumentParser:
 
     sp = sub.add_parser("run", help="simulate one design on one mix")
     common(sp)
+    engine_opt(sp)
     sp.add_argument("--design", default="hydrogen",
                     choices=list(ALL_DESIGNS))
     sp.add_argument("--trace", metavar="PATH",
@@ -371,6 +377,7 @@ def make_parser() -> argparse.ArgumentParser:
 
     sp = sub.add_parser("compare", help="compare designs on one mix")
     common(sp)
+    engine_opt(sp)
     sp.add_argument("--designs", help="comma-separated design names")
     sweep_opts(sp)
     sp.add_argument("--trace", metavar="DIR",
@@ -382,6 +389,7 @@ def make_parser() -> argparse.ArgumentParser:
     sp = sub.add_parser(
         "trace", help="run one design with telemetry; print epoch timeline")
     common(sp)
+    engine_opt(sp)
     sp.add_argument("--design", default="hydrogen",
                     choices=list(ALL_DESIGNS))
     sp.add_argument("--last", type=int, default=None, metavar="N",
@@ -395,6 +403,7 @@ def make_parser() -> argparse.ArgumentParser:
     sp = sub.add_parser(
         "sweep", help="run a (mixes x designs) grid via the sweep engine")
     common(sp, mix=False)
+    engine_opt(sp)
     sp.add_argument("--mixes", help="comma-separated Table II mix names "
                                     "(default: all 12)")
     sp.add_argument("--designs", help="comma-separated design names "
@@ -441,7 +450,7 @@ def make_parser() -> argparse.ArgumentParser:
                     help="comma-separated rule ids/names or the groups "
                          "domain|style|all (default: all)")
     sp.add_argument("--no-style", action="store_true",
-                    help="run only the five domain rules")
+                    help="run only the six domain rules")
     sp.add_argument("--docs", metavar="PATH",
                     help="Stats counter registry document "
                          "(default: docs/telemetry.md if present)")

@@ -35,8 +35,9 @@ class Reconfigurator:
         assert old is not None, "policy not attached to a controller"
         if cap == old.cap and bw == old.bw:
             return False
-        pol.map = DecoupledMap(old.assoc, old.channels, cap, bw,
-                               old.cap_units)
+        # spawn() preserves the concrete map class (e.g. the vectorized
+        # table-backed map used by the fast engine).
+        pol.map = old.spawn(cap, bw)
         pol.generation += 1
         self.reconfigurations += 1
         if pol.ctrl is not None:

@@ -8,6 +8,8 @@ per-class cycle counts the paper's evaluation (artifact task T3) reports.
 
 from __future__ import annotations
 
+import os
+import warnings
 from dataclasses import dataclass, field
 
 from repro.config import SystemConfig
@@ -35,12 +37,19 @@ _TELEMETRY_DELTA_KEYS = (
 
 @dataclass
 class SimResult:
-    """Reduced outcome of one simulation run."""
+    """Reduced outcome of one simulation run.
+
+    Metric names follow the repo-wide ``<metric>_<class>`` snake_case
+    vocabulary (``cycles_cpu``, ``ipc_cpu``, ...) shared with sweep row
+    keys and telemetry epoch records; the pre-unification
+    ``cpu_cycles``/``gpu_cycles`` spellings remain as deprecated
+    read-only aliases.
+    """
 
     mix: str
     policy: str
-    cpu_cycles: float | None
-    gpu_cycles: float | None
+    cycles_cpu: float | None
+    cycles_gpu: float | None
     ipc_cpu: float
     ipc_gpu: float
     elapsed: float
@@ -56,9 +65,28 @@ class SimResult:
         total = hits + self.stats.get(f"{klass}.fast_misses", 0.0)
         return hits / total if total else 0.0
 
+    @property
+    def cpu_cycles(self) -> float | None:
+        """Deprecated alias of :attr:`cycles_cpu`."""
+        warnings.warn("SimResult.cpu_cycles is deprecated; use cycles_cpu",
+                      DeprecationWarning, stacklevel=2)
+        return self.cycles_cpu
+
+    @property
+    def gpu_cycles(self) -> float | None:
+        """Deprecated alias of :attr:`cycles_gpu`."""
+        warnings.warn("SimResult.gpu_cycles is deprecated; use cycles_gpu",
+                      DeprecationWarning, stacklevel=2)
+        return self.cycles_gpu
+
 
 class Simulation:
     """One co-run (or solo run) of a workload mix under a policy."""
+
+    #: Component classes; the fast engine (repro.engine.fastpath)
+    #: substitutes specialized, behavior-identical implementations.
+    _controller_cls: type = HybridMemoryController
+    _eq_cls: type = EventQueue
 
     def __init__(self, cfg: SystemConfig, policy: PartitionPolicy,
                  mix: WorkloadMix, max_cycles: float = MAX_CYCLES_DEFAULT,
@@ -69,24 +97,22 @@ class Simulation:
         self.mix = mix
         self.max_cycles = max_cycles
         self.record_epochs = record_epochs
-        self.eq = EventQueue()
+        self.eq = self._eq_cls()
         self.stats = Stats()
         self.telemetry = telemetry if telemetry is not None else NULL_SINK
         self.telemetry.bind(lambda: self.eq.now)
-        self.ctrl = HybridMemoryController(cfg, self.eq, self.stats, policy,
-                                           telemetry=self.telemetry)
+        self.ctrl = self._controller_cls(cfg, self.eq, self.stats, policy,
+                                         telemetry=self.telemetry)
         self.policy = policy
         self.agents: list[TraceAgent] = []
         for i, tr in enumerate(mix.cpu_traces):
-            self.agents.append(TraceAgent(f"cpu{i}-{tr.name}", tr,
-                                          cfg.cpu.mlp, self.eq,
-                                          self.ctrl.access, warmup_cpu))
+            self.agents.append(self._make_agent(f"cpu{i}-{tr.name}", tr,
+                                                cfg.cpu.mlp, warmup_cpu, 1.0))
         gpu_scale = cfg.gpu.execution_units / cfg.cpu.cores
         for i, tr in enumerate(mix.gpu_traces):
-            self.agents.append(TraceAgent(f"gpu{i}-{tr.name}", tr,
-                                          cfg.gpu.mlp, self.eq,
-                                          self.ctrl.access, warmup_gpu,
-                                          instr_scale=gpu_scale))
+            self.agents.append(self._make_agent(f"gpu{i}-{tr.name}", tr,
+                                                cfg.gpu.mlp, warmup_gpu,
+                                                gpu_scale))
         if not self.agents:
             raise ValueError("mix has no traces")
         self._remaining = len(self.agents)
@@ -98,6 +124,11 @@ class Simulation:
         self._epoch_index = 0
         self._tele_stats_snap: dict[str, float] = {}
         self._tele_busy_snap = {"fast": 0.0, "slow": 0.0}
+
+    def _make_agent(self, name: str, trace, mlp: int, warmup_frac: float,
+                    instr_scale: float) -> TraceAgent:
+        return TraceAgent(name, trace, mlp, self.eq, self.ctrl.access,
+                          warmup_frac, instr_scale=instr_scale)
 
     def _agent_done(self) -> None:
         self._remaining -= 1
@@ -233,8 +264,8 @@ class Simulation:
         return SimResult(
             mix=self.mix.name,
             policy=self.policy.name,
-            cpu_cycles=klass_cycles("cpu"),
-            gpu_cycles=klass_cycles("gpu"),
+            cycles_cpu=klass_cycles("cpu"),
+            cycles_gpu=klass_cycles("gpu"),
             ipc_cpu=klass_ipc("cpu"),
             ipc_gpu=klass_ipc("gpu"),
             elapsed=elapsed,
@@ -248,7 +279,30 @@ class Simulation:
         )
 
 
+#: Recognized engine names (``resolve_engine``).
+ENGINES = ("reference", "fast")
+
+
+def resolve_engine(engine: str | None) -> str:
+    """Resolve an engine selector: an explicit name wins, then the
+    ``REPRO_ENGINE`` environment variable, then ``"reference"``."""
+    eng = engine if engine is not None else os.environ.get("REPRO_ENGINE")
+    eng = eng or "reference"
+    if eng not in ENGINES:
+        raise ValueError(f"unknown engine {eng!r}; known: {ENGINES}")
+    return eng
+
+
 def simulate(cfg: SystemConfig, policy: PartitionPolicy, mix: WorkloadMix,
-             **kw) -> SimResult:
-    """Convenience one-shot runner."""
+             engine: str | None = None, **kw) -> SimResult:
+    """Convenience one-shot runner.
+
+    ``engine`` selects the simulation core: ``"reference"`` (the scalar
+    event loop) or ``"fast"`` (the vectorized fast path, bit-exact with
+    the reference — see docs/api.md).  ``None`` defers to the
+    ``REPRO_ENGINE`` environment variable, defaulting to ``"reference"``.
+    """
+    if resolve_engine(engine) == "fast":
+        from repro.engine.fastpath import FastSimulation
+        return FastSimulation(cfg, policy, mix, **kw).run()
     return Simulation(cfg, policy, mix, **kw).run()

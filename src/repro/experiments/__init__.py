@@ -1,13 +1,21 @@
 """Experiment harness: the design registry, runners with the artifact's
 weighted-speedup math, the parallel/cached sweep engine, per-figure
-drivers, and report rendering."""
+drivers, and report rendering.
+
+The free-function entry points re-exported here (``run_mix``,
+``compare_designs``, ``corun_slowdowns``, ``sweep_compare``,
+``sweep_corun``) are deprecated shims kept for external callers; new
+code should use the keyword-only :mod:`repro.api` facade (the ``noqa``
+markers below exempt this re-export hub from the API01 lint rule).
+"""
 
 from repro.experiments.cache import SweepCache
 from repro.experiments.designs import ALL_DESIGNS, FIG5_DESIGNS, make_policy
-from repro.experiments.runner import (compare_designs, corun_slowdowns,
-                                      run_mix, weighted_speedup)
-from repro.experiments.sweep import (MixSpec, SweepEngine, SweepJob,
-                                     sweep_compare, sweep_corun)
+from repro.experiments.runner import (compare_designs,  # noqa: API01
+                                      corun_slowdowns, run_mix,
+                                      weighted_speedup)
+from repro.experiments.sweep import (MixSpec, SweepEngine,  # noqa: API01
+                                     SweepJob, sweep_compare, sweep_corun)
 
 __all__ = ["ALL_DESIGNS", "FIG5_DESIGNS", "make_policy", "compare_designs",
            "corun_slowdowns", "run_mix", "weighted_speedup", "MixSpec",

@@ -30,7 +30,7 @@ from repro.config_io import canonical_json
 
 #: Bump when the cached payload layout or simulator semantics change in a
 #: way that invalidates previously stored results.
-CACHE_VERSION = 1
+CACHE_VERSION = 2
 
 #: Environment variable overriding the default cache root.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"

@@ -17,9 +17,9 @@ from repro.config import MB, SystemConfig, default_system, hbm3
 from repro.core.hydrogen import HydrogenPolicy
 from repro.engine.simulator import simulate
 from repro.experiments.designs import FIG5_DESIGNS
-from repro.experiments.runner import (ComboResult, compare_designs, geomean,
-                                      run_mix, weighted_speedup)
-from repro.experiments.sweep import MixSpec, sweep_compare, sweep_corun
+from repro.experiments.runner import (ComboResult, _compare_designs,
+                                      _run_mix, geomean, weighted_speedup)
+from repro.experiments.sweep import MixSpec, _sweep_compare, _sweep_corun
 from repro.traces.base import characterize
 from repro.traces.mixes import ALL_MIXES, build_mix, cpu_only, gpu_only
 
@@ -58,11 +58,11 @@ def fig2_slowdowns(mixes=ALL_MIXES, *, scale: float = 1.0,
     and ``cache`` control parallelism and the on-disk result cache.
     """
     cfg = cfg or default_system()
-    sd = sweep_corun([MixSpec(n, scale=scale, seed=seed) for n in mixes],
-                     cfg, workers=jobs, cache=cache, progress=progress)
+    sd = _sweep_corun([MixSpec(n, scale=scale, seed=seed) for n in mixes],
+                      cfg, workers=jobs, cache=cache, progress=progress)
     return [{"mix": name,
-             "cpu_slowdown": sd[name]["cpu_slowdown"],
-             "gpu_slowdown": sd[name]["gpu_slowdown"]} for name in mixes]
+             "slowdown_cpu": sd[name]["slowdown_cpu"],
+             "slowdown_gpu": sd[name]["slowdown_gpu"]} for name in mixes]
 
 
 def fig2_sensitivity(mix_name: str = "C1", *, scale: float = 1.0,
@@ -77,7 +77,7 @@ def fig2_sensitivity(mix_name: str = "C1", *, scale: float = 1.0,
     mix = build_mix(mix_name, scale=scale, seed=seed)
 
     def run(cfg):
-        return run_mix("baseline", mix, cfg)
+        return _run_mix("baseline", mix, cfg)
 
     ref = run(base)
     out: dict[str, list[dict]] = {"fast_bw": [], "fast_cap": [], "slow_bw": []}
@@ -87,8 +87,8 @@ def fig2_sensitivity(mix_name: str = "C1", *, scale: float = 1.0,
         r = run(cfg)
         out["fast_bw"].append({
             "fast_channels": ch,
-            "cpu_perf": ref.cpu_cycles / r.cpu_cycles,
-            "gpu_perf": ref.gpu_cycles / r.gpu_cycles,
+            "perf_cpu": ref.cycles_cpu / r.cycles_cpu,
+            "perf_gpu": ref.cycles_gpu / r.cycles_gpu,
         })
     for frac in (1.0, 0.5, 0.25, 0.125):
         cfg = base.with_fast(replace(base.fast,
@@ -96,18 +96,18 @@ def fig2_sensitivity(mix_name: str = "C1", *, scale: float = 1.0,
         r = run(cfg)
         out["fast_cap"].append({
             "capacity_frac": frac,
-            "cpu_perf": ref.cpu_cycles / r.cpu_cycles,
-            "gpu_perf": ref.gpu_cycles / r.gpu_cycles,
-            "cpu_hit": r.hit_rate("cpu"),
-            "gpu_hit": r.hit_rate("gpu"),
+            "perf_cpu": ref.cycles_cpu / r.cycles_cpu,
+            "perf_gpu": ref.cycles_gpu / r.cycles_gpu,
+            "hit_cpu": r.hit_rate("cpu"),
+            "hit_gpu": r.hit_rate("gpu"),
         })
     for ch in (4, 2, 1):
         cfg = replace(base, slow=replace(base.slow, channels=ch))
         r = run(cfg)
         out["slow_bw"].append({
             "slow_channels": ch,
-            "cpu_perf": ref.cpu_cycles / r.cpu_cycles,
-            "gpu_perf": ref.gpu_cycles / r.gpu_cycles,
+            "perf_cpu": ref.cycles_cpu / r.cycles_cpu,
+            "perf_gpu": ref.cycles_gpu / r.cycles_gpu,
         })
     return out
 
@@ -126,9 +126,9 @@ def fig5_overall(mixes=ALL_MIXES, *, fast: str = "hbm2e", scale: float = 1.0,
     cfg = default_system()
     if fast == "hbm3":
         cfg = cfg.with_fast(hbm3())
-    return sweep_compare([MixSpec(n, scale=scale, seed=seed) for n in mixes],
-                         tuple(designs), cfg, workers=jobs, cache=cache,
-                         progress=progress)
+    return _sweep_compare([MixSpec(n, scale=scale, seed=seed) for n in mixes],
+                          tuple(designs), cfg, workers=jobs, cache=cache,
+                          progress=progress)
 
 
 def fig5_summary(results: dict[str, dict[str, ComboResult]]) -> list[dict]:
@@ -153,7 +153,7 @@ def fig6_energy(mixes=ALL_MIXES, *, scale: float = 1.0,
         mix = build_mix(name, scale=scale, seed=seed)
         energies = {}
         for design in ("hashcache", "profess", "hydrogen"):
-            r = run_mix(design, mix, cfg)
+            r = _run_mix(design, mix, cfg)
             energies[design] = r.energy.total_nj
         ref = energies["hashcache"]
         rows.append({"mix": name,
@@ -184,7 +184,7 @@ def fig7_overheads(mixes=DEFAULT_SUBSET, *, scale: float = 1.0,
         acc = {v: [] for v in variants}
         for name in mixes:
             mix = build_mix(name, scale=scale, seed=seed)
-            base = run_mix("baseline", mix, cfg)
+            base = _run_mix("baseline", mix, cfg)
             for vname, kw in variants.items():
                 pol = HydrogenPolicy.full(**kw)
                 res = simulate(cfg, pol, mix)
@@ -205,7 +205,7 @@ def fig8_search(mix_name: str = "C5", *, scale: float = 1.0, seed: int = 7,
     online result, normalized to the online result per the paper."""
     cfg = default_system()
     mix = build_mix(mix_name, scale=scale, seed=seed)
-    base = run_mix("baseline", mix, cfg)
+    base = _run_mix("baseline", mix, cfg)
 
     grid = []
     for cap in caps:
@@ -250,8 +250,8 @@ def fig9_epochs(mixes=DEFAULT_SUBSET, *, scale: float = 1.0, seed: int = 7,
         for v in values:
             epochs = replace(base_cfg.epochs, **{param: v})
             cfg = replace(base_cfg, epochs=epochs)
-            per = sweep_compare(specs, ("hydrogen",), cfg, workers=jobs,
-                                cache=cache, progress=progress)
+            per = _sweep_compare(specs, ("hydrogen",), cfg, workers=jobs,
+                                 cache=cache, progress=progress)
             speeds = [per["hydrogen"][n].weighted_speedup for n in mixes]
             out.append({param: v, "geomean_speedup": geomean(speeds)})
         return out
@@ -270,16 +270,16 @@ def fig10_weights_cores(mix_name: str = "C6", *, scale: float = 1.0,
     out: dict[str, list[dict]] = {"weights": [], "cores": []}
     base_cfg = default_system()
     mix = build_mix(mix_name, scale=scale, seed=seed)
-    solo_cpu = run_mix("baseline", cpu_only(mix), base_cfg)
-    solo_gpu = run_mix("baseline", gpu_only(mix), base_cfg)
+    solo_cpu = _run_mix("baseline", cpu_only(mix), base_cfg)
+    solo_gpu = _run_mix("baseline", gpu_only(mix), base_cfg)
 
     for w in weight_ratios:
         cfg = replace(base_cfg, weight_cpu=float(w), weight_gpu=1.0)
         res = simulate(cfg, HydrogenPolicy.full(), mix)
         out["weights"].append({
             "weight_ratio": w,
-            "cpu_slowdown": res.cpu_cycles / solo_cpu.cpu_cycles,
-            "gpu_slowdown": res.gpu_cycles / solo_gpu.gpu_cycles,
+            "slowdown_cpu": res.cycles_cpu / solo_cpu.cycles_cpu,
+            "slowdown_gpu": res.cycles_gpu / solo_gpu.cycles_gpu,
         })
 
     for cores in core_counts:
@@ -287,8 +287,8 @@ def fig10_weights_cores(mix_name: str = "C6", *, scale: float = 1.0,
         cfg = replace(base_cfg, cpu=replace(base_cfg.cpu, cores=cores),
                       weight_cpu=float(12 * copies / 2), weight_gpu=1.0)
         cmix = build_mix(mix_name, scale=scale, seed=seed, cpu_copies=copies)
-        per = compare_designs(cmix, ("profess", "hydrogen"), cfg, jobs=jobs,
-                              cache=cache, progress=progress)
+        per = _compare_designs(cmix, ("profess", "hydrogen"), cfg, jobs=jobs,
+                               cache=cache, progress=progress)
         out["cores"].append({
             "cpu_cores": cores,
             "hydrogen_speedup": per["hydrogen"].weighted_speedup,
@@ -314,9 +314,9 @@ def fig11_geometry(mixes=("C1", "C5"), *, scale: float = 1.0, seed: int = 7,
     for a in assocs:
         for b in blocks:
             cfg = base_cfg.with_geometry(assoc=a, block=b)
-            per = sweep_compare(specs, ("hashcache", "profess", "hydrogen"),
-                                cfg, native_geometry=False, workers=jobs,
-                                cache=cache, progress=progress)
+            per = _sweep_compare(specs, ("hashcache", "profess", "hydrogen"),
+                                 cfg, native_geometry=False, workers=jobs,
+                                 cache=cache, progress=progress)
             rows.append({"assoc": a, "block": b,
                          **{d: geomean([per[d][n].weighted_speedup
                                         for n in mixes])

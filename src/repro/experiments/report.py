@@ -58,8 +58,8 @@ def perf_csv_rows(results: Mapping[str, Mapping[str, object]]) -> list[list]:
             res = combo.result
             rows.append([
                 design, mix,
-                round(res.cpu_cycles or 0.0, 1),
-                round(res.gpu_cycles or 0.0, 1),
+                round(res.cycles_cpu or 0.0, 1),
+                round(res.cycles_gpu or 0.0, 1),
                 round(combo.speedup_cpu, 4),
                 round(combo.speedup_gpu, 4),
                 round(combo.weighted_speedup, 4),
@@ -67,8 +67,8 @@ def perf_csv_rows(results: Mapping[str, Mapping[str, object]]) -> list[list]:
     return rows
 
 
-PERF_HEADERS = ["design", "mix", "cpu_cycles", "gpu_cycles",
-                "cpu_speedup", "gpu_speedup", "weighted_speedup"]
+PERF_HEADERS = ["design", "mix", "cycles_cpu", "cycles_gpu",
+                "speedup_cpu", "speedup_gpu", "weighted_speedup"]
 
 #: Epoch-timeline table columns: (header, sample key) in print order.
 EPOCH_COLUMNS = (

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import math
 import os
+import warnings
 from dataclasses import dataclass
 
 from repro.config import SystemConfig, default_system
@@ -17,6 +18,11 @@ from repro.engine.simulator import SimResult, simulate
 from repro.experiments.designs import design_config, make_policy
 from repro.hybrid.policies.base import PartitionPolicy
 from repro.traces.mixes import WorkloadMix, build_mix, cpu_only, gpu_only
+
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(f"{old} is deprecated; use {new} (see docs/api.md)",
+                  DeprecationWarning, stacklevel=3)
 
 
 def env_scale(default: float = 1.0) -> float:
@@ -52,9 +58,9 @@ class ComboResult:
     weighted_speedup: float
 
 
-def run_mix(design: str | PartitionPolicy, mix: WorkloadMix,
-            cfg: SystemConfig | None = None, *,
-            native_geometry: bool = True, **sim_kw) -> SimResult:
+def _run_mix(design: str | PartitionPolicy, mix: WorkloadMix,
+             cfg: SystemConfig | None = None, *,
+             native_geometry: bool = True, **sim_kw) -> SimResult:
     """Run one design (by registry name or as a policy instance) on a mix."""
     cfg = cfg or default_system()
     if isinstance(design, str):
@@ -65,13 +71,22 @@ def run_mix(design: str | PartitionPolicy, mix: WorkloadMix,
     return simulate(cfg, policy, mix, **sim_kw)
 
 
+def run_mix(design: str | PartitionPolicy, mix: WorkloadMix,
+            cfg: SystemConfig | None = None, *,
+            native_geometry: bool = True, **sim_kw) -> SimResult:
+    """Deprecated: use :func:`repro.api.simulate` (keyword-only facade)."""
+    _deprecated("repro.experiments.runner.run_mix", "repro.api.simulate")
+    return _run_mix(design, mix, cfg, native_geometry=native_geometry,
+                    **sim_kw)
+
+
 def weighted_speedup(res: SimResult, base: SimResult,
                      w_cpu: float, w_gpu: float) -> ComboResult:
     """Per-class cycle speedups vs baseline, weighted per artifact T3."""
-    s_cpu = (base.cpu_cycles / res.cpu_cycles
-             if res.cpu_cycles and base.cpu_cycles else 1.0)
-    s_gpu = (base.gpu_cycles / res.gpu_cycles
-             if res.gpu_cycles and base.gpu_cycles else 1.0)
+    s_cpu = (base.cycles_cpu / res.cycles_cpu
+             if res.cycles_cpu and base.cycles_cpu else 1.0)
+    s_gpu = (base.cycles_gpu / res.cycles_gpu
+             if res.cycles_gpu and base.cycles_gpu else 1.0)
     total_w = w_cpu + w_gpu
     ws = (w_cpu * s_cpu + w_gpu * s_gpu) / total_w
     return ComboResult(res.mix, res.policy, res, s_cpu, s_gpu, ws)
@@ -92,13 +107,27 @@ def slowdown_metrics(corun: SimResult, solo_cpu: SimResult | None,
     ``None`` co-run cycles; its slowdown is NaN rather than a TypeError.
     """
     return {
-        "cpu_slowdown": _cycle_ratio(
-            corun.cpu_cycles, solo_cpu.cpu_cycles if solo_cpu else None),
-        "gpu_slowdown": _cycle_ratio(
-            corun.gpu_cycles, solo_gpu.gpu_cycles if solo_gpu else None),
-        "corun_cpu_cycles": corun.cpu_cycles,
-        "corun_gpu_cycles": corun.gpu_cycles,
+        "slowdown_cpu": _cycle_ratio(
+            corun.cycles_cpu, solo_cpu.cycles_cpu if solo_cpu else None),
+        "slowdown_gpu": _cycle_ratio(
+            corun.cycles_gpu, solo_gpu.cycles_gpu if solo_gpu else None),
+        "corun_cycles_cpu": corun.cycles_cpu,
+        "corun_cycles_gpu": corun.cycles_gpu,
     }
+
+
+def _compare_designs(mix: WorkloadMix, designs: tuple[str, ...],
+                     cfg: SystemConfig | None = None, *,
+                     jobs: int | None = None, cache=None, progress=None,
+                     trace_dir: str | None = None,
+                     **sim_kw) -> dict[str, ComboResult]:
+    """Run the baseline plus ``designs`` on one mix; normalize to baseline."""
+    from repro.experiments.sweep import SweepEngine, _sweep_compare
+    cfg = cfg or default_system()
+    runner = SweepEngine(workers=jobs, cache=cache, progress=progress)
+    per = _sweep_compare([mix], tuple(designs), cfg, runner=runner,
+                         trace_dir=trace_dir, **sim_kw)
+    return {design: by_mix[mix.name] for design, by_mix in per.items()}
 
 
 def compare_designs(mix: WorkloadMix, designs: tuple[str, ...],
@@ -106,49 +135,54 @@ def compare_designs(mix: WorkloadMix, designs: tuple[str, ...],
                     jobs: int | None = None, cache=None, progress=None,
                     trace_dir: str | None = None,
                     **sim_kw) -> dict[str, ComboResult]:
-    """Run the baseline plus ``designs`` on one mix; normalize to baseline.
+    """Deprecated: use :func:`repro.api.compare`.
 
-    Submits through the sweep engine: ``jobs`` fans the designs out across
-    processes, ``cache`` recalls previously simulated cells from disk, and
-    ``trace_dir`` streams per-run telemetry JSONL (see
-    :mod:`repro.experiments.sweep`).  The defaults — serial, no cache, no
-    tracing — reproduce the historical behaviour bit-for-bit.
+    Runs the baseline plus ``designs`` on one mix through the sweep engine
+    (``jobs`` fans out across processes, ``cache`` recalls simulated cells,
+    ``trace_dir`` streams telemetry JSONL) and normalizes to the baseline.
     """
-    from repro.experiments.sweep import SweepEngine, sweep_compare
+    _deprecated("repro.experiments.runner.compare_designs",
+                "repro.api.compare")
+    return _compare_designs(mix, designs, cfg, jobs=jobs, cache=cache,
+                            progress=progress, trace_dir=trace_dir, **sim_kw)
+
+
+def _corun_slowdowns(mix: WorkloadMix, cfg: SystemConfig | None = None,
+                     design="baseline", *, jobs: int | None = None,
+                     cache=None, progress=None, **sim_kw) -> dict[str, float]:
+    """Fig. 2(a) reduction behind :func:`repro.api.corun`."""
     cfg = cfg or default_system()
-    engine = SweepEngine(workers=jobs, cache=cache, progress=progress)
-    per = sweep_compare([mix], tuple(designs), cfg, engine=engine,
-                        trace_dir=trace_dir, **sim_kw)
-    return {design: by_mix[mix.name] for design, by_mix in per.items()}
+    if isinstance(design, str):
+        from repro.experiments.sweep import SweepEngine, _sweep_corun
+        runner = SweepEngine(workers=jobs, cache=cache, progress=progress)
+        return _sweep_corun([mix], cfg, design=design, runner=runner,
+                            **sim_kw)[mix.name]
+
+    solo_cpu = (_run_mix(design(), cpu_only(mix), cfg, **sim_kw)
+                if mix.cpu_traces else None)
+    solo_gpu = (_run_mix(design(), gpu_only(mix), cfg, **sim_kw)
+                if mix.gpu_traces else None)
+    corun = _run_mix(design(), mix, cfg, **sim_kw)
+    return slowdown_metrics(corun, solo_cpu, solo_gpu)
 
 
 def corun_slowdowns(mix: WorkloadMix, cfg: SystemConfig | None = None,
                     design="baseline", *, jobs: int | None = None,
                     cache=None, progress=None, **sim_kw) -> dict[str, float]:
-    """Fig. 2(a): per-class slowdown of co-running vs running alone.
+    """Deprecated: use :func:`repro.api.corun`.
 
+    Fig. 2(a): per-class slowdown of co-running vs running alone.
     ``design`` is a registry name or a zero-argument policy factory (each
     of the three runs needs a fresh policy instance).  Registry names are
     submitted through the sweep engine (``jobs`` / ``cache`` as in
     :func:`compare_designs`); factories are not picklable or cacheable, so
-    they always run serially in-process.
-
-    One-sided mixes (no CPU or no GPU agents) skip the missing solo run
-    and report NaN for that class instead of raising.
+    they always run serially in-process.  One-sided mixes (no CPU or no
+    GPU agents) skip the missing solo run and report NaN for that class.
     """
-    cfg = cfg or default_system()
-    if isinstance(design, str):
-        from repro.experiments.sweep import SweepEngine, sweep_corun
-        engine = SweepEngine(workers=jobs, cache=cache, progress=progress)
-        return sweep_corun([mix], cfg, design=design, engine=engine,
-                           **sim_kw)[mix.name]
-
-    solo_cpu = (run_mix(design(), cpu_only(mix), cfg, **sim_kw)
-                if mix.cpu_traces else None)
-    solo_gpu = (run_mix(design(), gpu_only(mix), cfg, **sim_kw)
-                if mix.gpu_traces else None)
-    corun = run_mix(design(), mix, cfg, **sim_kw)
-    return slowdown_metrics(corun, solo_cpu, solo_gpu)
+    _deprecated("repro.experiments.runner.corun_slowdowns",
+                "repro.api.corun")
+    return _corun_slowdowns(mix, cfg, design, jobs=jobs, cache=cache,
+                            progress=progress, **sim_kw)
 
 
 def geomean(values) -> float:

@@ -37,8 +37,8 @@ from repro.config import SystemConfig, default_system
 from repro.config_io import config_digest
 from repro.engine.simulator import SimResult
 from repro.experiments.cache import SweepCache, resolve_cache
-from repro.experiments.runner import (run_mix, slowdown_metrics,
-                                      weighted_speedup)
+from repro.experiments.runner import (_deprecated, _run_mix,
+                                      slowdown_metrics, weighted_speedup)
 from repro.traces.mixes import (CPU_COPIES, WorkloadMix, build_mix, cpu_only,
                                 gpu_only)
 
@@ -162,8 +162,8 @@ class SweepJob:
                                    "mix": self.mix_name})
             kw["telemetry"] = sink
         try:
-            return run_mix(self.design, mix, self.cfg,
-                           native_geometry=self.native_geometry, **kw)
+            return _run_mix(self.design, mix, self.cfg,
+                            native_geometry=self.native_geometry, **kw)
         finally:
             if sink is not None:
                 sink.close()
@@ -171,11 +171,15 @@ class SweepJob:
     def cache_payload(self) -> dict:
         # trace_dir is deliberately absent: telemetry does not change
         # results, so keys stay byte-identical with tracing on or off.
+        # The engine choice is stripped for the same reason — fast and
+        # reference replay are bit-exact, so they share cached cells.
+        kw = dict(self.sim_kw)
+        kw.pop("engine", None)
         return {"config": config_digest(self.cfg),
                 "design": self.design,
                 "native_geometry": self.native_geometry,
                 "mix": _mix_payload(self.mix),
-                "sim_kw": dict(self.sim_kw)}
+                "sim_kw": kw}
 
 
 def _execute_job(job: SweepJob) -> tuple[SimResult, float]:
@@ -298,26 +302,21 @@ def _name_of(mix) -> str:
     return mix.run_name if isinstance(mix, MixSpec) else mix.name
 
 
-def sweep_compare(mixes, designs, cfg: SystemConfig | None = None, *,
-                  scale: float = 1.0, seed: int = 7,
-                  native_geometry: bool = True, engine: SweepEngine | None = None,
-                  workers: int | None = None, cache=None, progress=None,
-                  trace_dir: str | None = None,
-                  **sim_kw) -> dict[str, dict[str, "ComboResult"]]:
-    """Baseline + ``designs`` on every mix, through one engine batch.
+def _sweep_compare(mixes, designs, cfg: SystemConfig | None = None, *,
+                   scale: float = 1.0, seed: int = 7,
+                   native_geometry: bool = True,
+                   runner: SweepEngine | None = None,
+                   workers: int | None = None, cache=None, progress=None,
+                   trace_dir: str | None = None,
+                   **sim_kw) -> dict[str, dict[str, "ComboResult"]]:
+    """Grid submission behind :func:`repro.api.sweep`.
 
-    The whole (mix x design) grid — baselines included — is submitted as a
-    single job list, so parallelism spans mixes as well as designs and the
-    per-mix baseline is simulated exactly once and shared by every
-    comparison against it.  Returns ``{design: {mix_name: ComboResult}}``
-    (the Fig. 5 / perf.csv layout) with ``"baseline"`` first.
-
-    ``trace_dir`` writes one telemetry JSONL per simulated cell (see
-    :class:`SweepJob`); workers run with the zero-overhead
-    :class:`~repro.telemetry.NullSink` unless it is set.
+    ``runner`` is the :class:`SweepEngine`; a simulation-core selector
+    travels inside ``sim_kw`` as ``engine=...`` (the names differ so the
+    two kinds of engine can be passed together).
     """
     cfg = cfg or default_system()
-    engine = engine or SweepEngine(workers=workers, cache=cache,
+    runner = runner or SweepEngine(workers=workers, cache=cache,
                                    progress=progress)
     specs = [as_spec(m, scale=scale, seed=seed) for m in mixes]
     names = list(dict.fromkeys(("baseline",) + tuple(designs)))
@@ -327,7 +326,7 @@ def sweep_compare(mixes, designs, cfg: SystemConfig | None = None, *,
         return SweepJob(spec, design, cfg, native_geometry, frozen,
                         trace_dir)
 
-    results = engine.run([job(s, d) for s in specs for d in names])
+    results = runner.run([job(s, d) for s in specs for d in names])
     out: dict[str, dict] = {d: {} for d in names}
     for spec in specs:
         base = results[job(spec, "baseline")]
@@ -335,6 +334,33 @@ def sweep_compare(mixes, designs, cfg: SystemConfig | None = None, *,
             out[d][_name_of(spec)] = weighted_speedup(
                 results[job(spec, d)], base, cfg.weight_cpu, cfg.weight_gpu)
     return out
+
+
+def sweep_compare(mixes, designs, cfg: SystemConfig | None = None, *,
+                  scale: float = 1.0, seed: int = 7,
+                  native_geometry: bool = True,
+                  engine: SweepEngine | None = None,
+                  workers: int | None = None, cache=None, progress=None,
+                  trace_dir: str | None = None,
+                  **sim_kw) -> dict[str, dict[str, "ComboResult"]]:
+    """Deprecated: use :func:`repro.api.sweep`.
+
+    Baseline + ``designs`` on every mix, through one engine batch.  The
+    whole (mix x design) grid — baselines included — is submitted as a
+    single job list, so parallelism spans mixes as well as designs and the
+    per-mix baseline is simulated exactly once and shared by every
+    comparison against it.  Returns ``{design: {mix_name: ComboResult}}``
+    (the Fig. 5 / perf.csv layout) with ``"baseline"`` first.
+
+    ``trace_dir`` writes one telemetry JSONL per simulated cell (see
+    :class:`SweepJob`); workers run with the zero-overhead
+    :class:`~repro.telemetry.NullSink` unless it is set.
+    """
+    _deprecated("repro.experiments.sweep.sweep_compare", "repro.api.sweep")
+    return _sweep_compare(mixes, designs, cfg, scale=scale, seed=seed,
+                          native_geometry=native_geometry, runner=engine,
+                          workers=workers, cache=cache, progress=progress,
+                          trace_dir=trace_dir, **sim_kw)
 
 
 def _solo_variant(mix, klass: str):
@@ -347,19 +373,15 @@ def _solo_variant(mix, klass: str):
     return cpu_only(mix) if klass == "cpu" else gpu_only(mix)
 
 
-def sweep_corun(mixes, cfg: SystemConfig | None = None, *,
-                design: str = "baseline", scale: float = 1.0, seed: int = 7,
-                engine: SweepEngine | None = None, workers: int | None = None,
-                cache=None, progress=None, trace_dir: str | None = None,
-                **sim_kw) -> dict[str, dict[str, float]]:
-    """Fig. 2(a)-style sweep: solo-CPU / solo-GPU / co-run per mix.
-
-    All three runs of every mix go through one engine batch.  Returns
-    ``{mix_name: slowdown metrics}`` with the same keys/NaN semantics as
-    :func:`repro.experiments.runner.corun_slowdowns`.
-    """
+def _sweep_corun(mixes, cfg: SystemConfig | None = None, *,
+                 design: str = "baseline", scale: float = 1.0, seed: int = 7,
+                 runner: SweepEngine | None = None,
+                 workers: int | None = None, cache=None, progress=None,
+                 trace_dir: str | None = None,
+                 **sim_kw) -> dict[str, dict[str, float]]:
+    """Solo/co-run batching behind :func:`repro.api.corun`."""
     cfg = cfg or default_system()
-    engine = engine or SweepEngine(workers=workers, cache=cache,
+    runner = runner or SweepEngine(workers=workers, cache=cache,
                                    progress=progress)
     frozen = freeze_kw(sim_kw)
 
@@ -376,7 +398,7 @@ def sweep_corun(mixes, cfg: SystemConfig | None = None, *,
         jobs.extend(job(s) for s in (solo_cpu, solo_gpu, spec)
                     if s is not None)
 
-    results = engine.run(jobs)
+    results = runner.run(jobs)
     out = {}
     for spec, solo_cpu, solo_gpu in trios:
         out[_name_of(spec)] = slowdown_metrics(
@@ -384,3 +406,21 @@ def sweep_corun(mixes, cfg: SystemConfig | None = None, *,
             results[job(solo_cpu)] if solo_cpu is not None else None,
             results[job(solo_gpu)] if solo_gpu is not None else None)
     return out
+
+
+def sweep_corun(mixes, cfg: SystemConfig | None = None, *,
+                design: str = "baseline", scale: float = 1.0, seed: int = 7,
+                engine: SweepEngine | None = None, workers: int | None = None,
+                cache=None, progress=None, trace_dir: str | None = None,
+                **sim_kw) -> dict[str, dict[str, float]]:
+    """Deprecated: use :func:`repro.api.corun`.
+
+    Fig. 2(a)-style sweep: solo-CPU / solo-GPU / co-run per mix.  All
+    three runs of every mix go through one engine batch.  Returns
+    ``{mix_name: slowdown metrics}`` with the same keys/NaN semantics as
+    :func:`repro.experiments.runner.corun_slowdowns`.
+    """
+    _deprecated("repro.experiments.sweep.sweep_corun", "repro.api.corun")
+    return _sweep_corun(mixes, cfg, design=design, scale=scale, seed=seed,
+                        runner=engine, workers=workers, cache=cache,
+                        progress=progress, trace_dir=trace_dir, **sim_kw)

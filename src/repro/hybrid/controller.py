@@ -38,6 +38,9 @@ _CLASS_KEYS = ("accesses", "remap_fills", "fast_hits", "fast_misses",
 class HybridMemoryController:
     """Two-tier hybrid memory behind the LLC."""
 
+    #: Device implementation; the fast engine substitutes its own.
+    _device_cls: type = MemoryDevice
+
     def __init__(self, cfg: SystemConfig, eq: EventQueue, stats: Stats,
                  policy: PartitionPolicy,
                  telemetry: Telemetry | None = None) -> None:
@@ -47,8 +50,8 @@ class HybridMemoryController:
         #: Telemetry sink shared with the policy and its sub-mechanisms
         #: (must be set before ``policy.attach`` reads it below).
         self.telemetry = telemetry if telemetry is not None else NULL_SINK
-        self.fast = MemoryDevice(cfg.fast, eq, stats, "fast")
-        self.slow = MemoryDevice(cfg.slow, eq, stats, "slow")
+        self.fast = self._device_cls(cfg.fast, eq, stats, "fast")
+        self.slow = self._device_cls(cfg.slow, eq, stats, "slow")
         self.store = FastStore(cfg.num_sets, cfg.hybrid.assoc)
         self.remap = RemapCache(cfg.remap_cache_entries)
         self.policy = policy

@@ -31,6 +31,15 @@ class PartitionPolicy:
 
     name = "base"
 
+    #: Geometry contract: ``way_channel`` / ``way_owner`` / ``eligible_ways``
+    #: must be pure functions of ``(set_id, way, klass)`` for a given
+    #: ``generation`` — any geometry change must bump ``generation`` (the
+    #: lazy-reconfiguration machinery already requires this).  The fast
+    #: engine caches per-set geometry rows under this contract; a policy
+    #: whose geometry varies without a generation bump must set this to
+    #: False to disable the cache.
+    geometry_static = True
+
     def __init__(self) -> None:
         self.ctrl: "HybridMemoryController | None" = None
         #: Configuration generation, bumped on every repartitioning; blocks

@@ -13,13 +13,16 @@ from repro.mem.channel import Channel
 class MemoryDevice:
     """One tier ("fast" or "slow") of the hybrid memory."""
 
+    #: Channel implementation; the fast engine substitutes its own.
+    _channel_cls: type = Channel
+
     def __init__(self, cfg: MemConfig, eq: EventQueue, stats: Stats,
                  prefix: str) -> None:
         self.cfg = cfg
         self.eq = eq
         self.stats = stats
         self.prefix = prefix
-        self.channels = [Channel(i, cfg, eq, stats, prefix)
+        self.channels = [self._channel_cls(i, cfg, eq, stats, prefix)
                          for i in range(cfg.channels)]
 
     def submit(self, channel: int, klass: str, nbytes: int, is_write: bool,

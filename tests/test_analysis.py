@@ -17,10 +17,11 @@ from pathlib import Path
 
 import pytest
 
-from repro.analysis import (DeterminismRule, MutableDefaultRule, Rule,
-                            StatsKeyRegistryRule, SweepPicklabilityRule,
-                            TelemetryPurityRule, UnusedImportRule,
-                            default_rules, rules_by_id, run_rules, to_sarif)
+from repro.analysis import (ApiUsageRule, DeterminismRule,
+                            MutableDefaultRule, Rule, StatsKeyRegistryRule,
+                            SweepPicklabilityRule, TelemetryPurityRule,
+                            UnusedImportRule, default_rules, rules_by_id,
+                            run_rules, to_sarif)
 
 REPO = Path(__file__).resolve().parents[1]
 
@@ -237,11 +238,49 @@ def test_noqa_suppression(tmp_path):
     assert findings == []
 
 
+def test_api01_deprecated_import_inside_repro(tmp_path):
+    findings = lint_source(tmp_path, """\
+        from repro.experiments.runner import run_mix
+
+        def go(mix):
+            return run_mix("baseline", mix)
+        """, ApiUsageRule(), name="repro/mod.py")
+    assert [f.rule_id for f in findings] == ["API01"]
+    assert findings[0].line == 1
+    assert "run_mix" in findings[0].message
+
+
+def test_api01_deprecated_attribute_inside_repro(tmp_path):
+    findings = lint_source(tmp_path, """\
+        def report(res):
+            return res.cpu_cycles
+        """, ApiUsageRule(), name="repro/mod.py")
+    assert [f.rule_id for f in findings] == ["API01"]
+    assert "cycles_cpu" in findings[0].message
+
+
+def test_api01_ignores_code_outside_repro(tmp_path):
+    findings = lint_source(tmp_path, """\
+        from repro.experiments import sweep_compare
+
+        def go(res):
+            return res.cpu_cycles
+        """, ApiUsageRule(), name="external/mod.py")
+    assert findings == []
+
+
+def test_api01_noqa_suppression(tmp_path):
+    findings = lint_source(tmp_path, """\
+        from repro.experiments.sweep import sweep_corun  # noqa: API01
+        """, ApiUsageRule(), name="repro/mod.py")
+    assert findings == []
+
+
 def test_rules_by_id_specs():
     assert [type(r) for r in rules_by_id("DET01")] == [DeterminismRule]
     assert [r.rule_id for r in rules_by_id("style")] == [
         "STY01", "STY02", "STY03"]
-    assert len(rules_by_id("all")) == 8
+    assert len(rules_by_id("all")) == 9
     with pytest.raises(ValueError):
         rules_by_id("NOPE99")
 

@@ -37,7 +37,7 @@ def test_run_outputs_json(capsys):
     assert code == 0
     res = json.loads(out)
     assert res["design"] == "baseline"
-    assert res["cpu_cycles"] > 0
+    assert res["cycles_cpu"] > 0
 
 
 def test_run_custom_mix(capsys):
@@ -121,7 +121,7 @@ def test_parser_structure():
 def test_report_command(capsys, tmp_path):
     csv_file = tmp_path / "perf.csv"
     csv_file.write_text(
-        "design,mix,cpu_cycles,gpu_cycles,cpu_speedup,gpu_speedup,"
+        "design,mix,cycles_cpu,cycles_gpu,speedup_cpu,speedup_gpu,"
         "weighted_speedup\n"
         "baseline,C1,100,50,1.0,1.0,1.0\n"
         "hydrogen,C1,80,60,1.25,0.83,1.20\n"

@@ -14,6 +14,10 @@ from repro.experiments.runner import (compare_designs, corun_slowdowns,
                                       weighted_speedup)
 from repro.traces.mixes import build_mix
 
+# These tests intentionally exercise the deprecated free-function shims
+# (the supported facade is covered in test_api.py).
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
 CFG = default_system()
 
 
@@ -59,8 +63,8 @@ def test_compare_designs_normalizes_to_baseline():
 
 def test_corun_slowdowns_positive():
     sd = corun_slowdowns(tiny(), CFG)
-    assert sd["cpu_slowdown"] > 0.8
-    assert sd["gpu_slowdown"] > 0.8
+    assert sd["slowdown_cpu"] > 0.8
+    assert sd["slowdown_gpu"] > 0.8
 
 
 def test_corun_slowdowns_gpu_only_mix():
@@ -71,10 +75,10 @@ def test_corun_slowdowns_gpu_only_mix():
     from repro.traces.mixes import gpu_only
 
     sd = corun_slowdowns(gpu_only(tiny()), CFG)
-    assert math.isnan(sd["cpu_slowdown"])
-    assert sd["gpu_slowdown"] == pytest.approx(1.0, abs=0.05)
-    assert sd["corun_cpu_cycles"] is None
-    assert sd["corun_gpu_cycles"] > 0
+    assert math.isnan(sd["slowdown_cpu"])
+    assert sd["slowdown_gpu"] == pytest.approx(1.0, abs=0.05)
+    assert sd["corun_cycles_cpu"] is None
+    assert sd["corun_cycles_gpu"] > 0
 
 
 def test_corun_slowdowns_cpu_only_mix():
@@ -83,8 +87,8 @@ def test_corun_slowdowns_cpu_only_mix():
     from repro.traces.mixes import cpu_only
 
     sd = corun_slowdowns(cpu_only(tiny()), CFG)
-    assert math.isnan(sd["gpu_slowdown"])
-    assert sd["cpu_slowdown"] == pytest.approx(1.0, abs=0.05)
+    assert math.isnan(sd["slowdown_gpu"])
+    assert sd["slowdown_cpu"] == pytest.approx(1.0, abs=0.05)
 
 
 def test_geomean():

@@ -1,0 +1,92 @@
+"""Golden bit-exact equivalence: fast engine vs reference engine.
+
+The fast path's contract is *bit-exact replay* — not approximate
+agreement — so every comparison here is full ``SimResult`` dataclass
+equality (cycles, IPCs, the whole stats dict, energy, per-agent metrics,
+policy end state, epoch log).  The grid covers the inlined policy fast
+paths (baseline/hashcache/profess/waypart/hydrogen) plus a custom policy
+subclass that forces every delegate fallback.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import default_system
+from repro.engine.fastpath import FastSimulation
+from repro.engine.simulator import Simulation, simulate
+from repro.experiments.designs import design_config, make_policy
+from repro.hybrid.policies.hashcache import HAShCachePolicy
+from repro.traces.mixes import build_mix
+
+TINY = dict(cpu_refs=1500, gpu_refs=7000)
+
+#: Designs exercising every inline mode of the fast controller: base
+#: hooks, HAShCache chaining + alternate sets, ProFess probabilistic
+#: migration, WayPart geometry, and Hydrogen's decoupled map + tokens.
+DESIGNS = ("baseline", "hashcache", "profess", "waypart",
+           "hydrogen-dp", "hydrogen")
+
+
+def run_both(design, mix_name="C1", seed=7, **mix_kw):
+    mix = build_mix(mix_name, seed=seed, **{**TINY, **mix_kw})
+    cfg = design_config(design, default_system())
+    ref = Simulation(cfg, make_policy(design), mix).run()
+    fast = FastSimulation(cfg, make_policy(design), mix).run()
+    return ref, fast
+
+
+@pytest.mark.parametrize("design", DESIGNS)
+def test_bit_exact_per_design(design):
+    ref, fast = run_both(design)
+    assert fast == ref
+
+
+@pytest.mark.parametrize("mix_name", ["C2", "C5", "C7", "C10"])
+def test_bit_exact_across_mixes(mix_name):
+    ref, fast = run_both("hydrogen", mix_name=mix_name)
+    assert fast == ref
+
+
+@pytest.mark.parametrize("seed", [3, 11])
+def test_bit_exact_across_seeds(seed):
+    ref, fast = run_both("profess", seed=seed)
+    assert fast == ref
+
+
+class ChattyHAShCache(HAShCachePolicy):
+    """Subclass overriding hooks so every inline mode must fall back to
+    its delegate path (the identity checks in FastHybridController)."""
+
+    name = "chatty-hashcache"
+
+    def alternate_set(self, set_id, block):
+        return super().alternate_set(set_id, block)
+
+    def extra_probe_latency(self, klass, chained):
+        return super().extra_probe_latency(klass, chained)
+
+    def allow_migration(self, klass, block, cost, is_write):
+        return super().allow_migration(klass, block, cost, is_write)
+
+    def pick_insertion(self, set_id, block, klass):
+        return super().pick_insertion(set_id, block, klass)
+
+
+def test_bit_exact_custom_policy_delegate_paths():
+    mix = build_mix("C1", seed=7, **TINY)
+    cfg = design_config("hashcache", default_system())
+    ref = Simulation(cfg, ChattyHAShCache(), mix).run()
+    fast = FastSimulation(cfg, ChattyHAShCache(), mix).run()
+    assert fast == ref
+
+
+def test_engine_kwarg_selects_fastpath(monkeypatch):
+    mix = build_mix("C1", **TINY)
+    cfg = design_config("hydrogen", default_system())
+    via_kw = simulate(cfg, make_policy("hydrogen"), mix, engine="fast")
+    monkeypatch.setenv("REPRO_ENGINE", "fast")
+    via_env = simulate(cfg, make_policy("hydrogen"), mix)
+    monkeypatch.setenv("REPRO_ENGINE", "reference")
+    via_ref = simulate(cfg, make_policy("hydrogen"), mix)
+    assert via_kw == via_env == via_ref

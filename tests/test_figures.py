@@ -16,13 +16,13 @@ def test_table2_rows():
 def test_fig2_slowdowns_driver():
     rows = F.fig2_slowdowns(mixes=("C1",), scale=TINY)
     assert rows[0]["mix"] == "C1"
-    assert rows[0]["cpu_slowdown"] > 0.5
+    assert rows[0]["slowdown_cpu"] > 0.5
 
 
 def test_fig2_sensitivity_driver():
     out = F.fig2_sensitivity("C1", scale=TINY)
     assert {"fast_bw", "fast_cap", "slow_bw"} == set(out)
-    assert out["fast_bw"][0]["cpu_perf"] == pytest.approx(1.0)
+    assert out["fast_bw"][0]["perf_cpu"] == pytest.approx(1.0)
     assert len(out["fast_cap"]) == 4
 
 

@@ -23,7 +23,7 @@ def test_geometry_runs_hydrogen(assoc, block):
     cfg = default_system().with_geometry(assoc=assoc, block=block)
     mix = build_mix("C1", cpu_refs=800, gpu_refs=4000, seed=2)
     res = simulate(cfg, HydrogenPolicy.full(), mix)
-    assert res.cpu_cycles > 0 and res.gpu_cycles > 0
+    assert res.cycles_cpu > 0 and res.cycles_gpu > 0
     assert 0 <= res.hit_rate("cpu") <= 1
 
 
@@ -34,7 +34,7 @@ def test_geometry_runs_baselines(assoc, block):
     for design in ("hashcache", "profess"):
         pol = make_policy(design)
         res = simulate(cfg, pol, mix)  # sweep geometry, no override
-        assert res.cpu_cycles > 0, (design, assoc, block)
+        assert res.cycles_cpu > 0, (design, assoc, block)
 
 
 def test_block_size_spatial_hits_scale():

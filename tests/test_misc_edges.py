@@ -26,14 +26,14 @@ def test_eight_channel_fast_tier():
     cfg = replace(default_system(), fast=hbm2e(channels=8, capacity=4 * MB))
     mix = build_mix("C1", cpu_refs=600, gpu_refs=3000)
     res = simulate(cfg, HydrogenPolicy.dp(), mix)
-    assert res.cpu_cycles > 0
+    assert res.cycles_cpu > 0
 
 
 def test_two_slow_channels():
     cfg = replace(default_system(), slow=ddr4(channels=2))
     mix = build_mix("C2", cpu_refs=600, gpu_refs=3000)
     res = simulate(cfg, HydrogenPolicy.dp_token(), mix)
-    assert res.gpu_cycles > 0
+    assert res.cycles_gpu > 0
 
 
 def test_simresult_hit_rate_empty_class():

@@ -56,5 +56,5 @@ def test_validation():
 def test_end_to_end_run():
     mix = build_mix("C2", cpu_refs=800, gpu_refs=5000)
     res = simulate(default_system(), SetPartitionPolicy(), mix)
-    assert res.cpu_cycles > 0 and res.gpu_cycles > 0
+    assert res.cycles_cpu > 0 and res.cycles_gpu > 0
     assert res.hit_rate("cpu") > 0

@@ -58,8 +58,8 @@ def test_telemetry_does_not_change_results():
                       telemetry=rec)
     assert rec.epochs, "sink saw no epochs"
     assert traced.stats == base.stats  # same counters, same values
-    assert traced.cpu_cycles == base.cpu_cycles
-    assert traced.gpu_cycles == base.gpu_cycles
+    assert traced.cycles_cpu == base.cycles_cpu
+    assert traced.cycles_gpu == base.cycles_gpu
     assert traced.policy_state == base.policy_state
 
 
@@ -73,7 +73,7 @@ def test_nullsink_never_builds_samples(monkeypatch):
 
     monkeypatch.setattr(Simulation, "_telemetry_sample", boom)
     res = simulate(default_system(), make_policy("hydrogen"), tiny_mix())
-    assert res.cpu_cycles > 0
+    assert res.cycles_cpu > 0
 
 
 # -- epoch samples ----------------------------------------------------------
