@@ -11,6 +11,10 @@ PASS/FAIL/SKIP summary:
 * ``docs`` — public-API docstring/docs coverage (scripts/check_docs.py);
 * ``bench`` — fastpath-vs-reference smoke timing + bit-exactness
   (scripts/bench_fastpath.py --smoke; refreshes BENCH_fastpath.json);
+* ``chaos`` — resilience smoke: a tiny sweep under injected crashes,
+  transient faults, and a torn cache write must recover and produce a
+  grid bit-identical to the fault-free run (``repro sweep --chaos``,
+  docs/robustness.md);
 * ``ruff`` / ``mypy`` — external style and type gates, configured in
   pyproject.toml.  They are optional dependencies (the ``lint`` extra);
   when not installed the gate reports SKIP rather than failing, and the
@@ -43,6 +47,9 @@ GATES: dict[str, list[str]] = {
                  "tests", "benchmarks", "scripts", "examples"],
     "docs": [sys.executable, "scripts/check_docs.py"],
     "bench": [sys.executable, "scripts/bench_fastpath.py", "--smoke"],
+    "chaos": [sys.executable, "-m", "repro", "sweep", "--chaos",
+              "--mixes", "C1", "--designs", "waypart",
+              "--scale", "0.02", "--quiet"],
     "ruff": [sys.executable, "-m", "ruff", "check",
              "src", "tests", "benchmarks", "scripts", "examples"],
     "mypy": [sys.executable, "-m", "mypy"],

@@ -32,18 +32,20 @@ table and figure.
 
 from repro.config import (SystemConfig, default_system, ddr4, hbm2e, hbm3,
                           validate_ratios)
-from repro.engine.simulator import SimResult, Simulation, simulate
+from repro.engine.simulator import (SimResult, Simulation, SimulationStalled,
+                                    simulate)
 from repro.telemetry import (EpochRecorder, JsonlSink, NullSink, Telemetry,
                              TeeSink, read_jsonl)
 from repro.traces.mixes import ALL_MIXES, MIXES, WorkloadMix, build_mix
-from repro import api
+from repro import api, faults
 
 __version__ = "1.2.0"
 
 __all__ = [
-    "api",
+    "api", "faults",
     "SystemConfig", "default_system", "ddr4", "hbm2e", "hbm3",
-    "validate_ratios", "SimResult", "Simulation", "simulate",
+    "validate_ratios", "SimResult", "Simulation", "SimulationStalled",
+    "simulate",
     "ALL_MIXES", "MIXES", "WorkloadMix", "build_mix",
     "Telemetry", "NullSink", "EpochRecorder", "JsonlSink", "TeeSink",
     "read_jsonl", "__version__",

@@ -31,15 +31,16 @@ from repro.analysis.framework import (Finding, Module, Rule,
 from repro.analysis.mutables import MutableDefaultRule
 from repro.analysis.picklability import SweepPicklabilityRule
 from repro.analysis.purity import TelemetryPurityRule
+from repro.analysis.robustness import RobustnessRule
 from repro.analysis.sarif import sarif_json, to_sarif
 from repro.analysis.statskeys import StatsKeyRegistryRule
 from repro.analysis.style import (LineLengthRule, UnusedImportRule,
                                   WhitespaceRule)
 
-#: The six domain rules (always on) in reporting order.
+#: The seven domain rules (always on) in reporting order.
 DOMAIN_RULES = (DeterminismRule, TelemetryPurityRule,
                 SweepPicklabilityRule, StatsKeyRegistryRule,
-                MutableDefaultRule, ApiUsageRule)
+                MutableDefaultRule, ApiUsageRule, RobustnessRule)
 
 #: Dependency-free style gates (subset of the ruff configuration).
 STYLE_RULES = (LineLengthRule, WhitespaceRule, UnusedImportRule)
@@ -53,12 +54,13 @@ def default_rules(docs_path: str | Path | None = None,
 
     ``docs_path`` pins the Stats-counter registry document
     (auto-discovered from the linted tree when None); ``style=False``
-    drops the STY* gates and runs only the six domain rules.
+    drops the STY* gates and runs only the seven domain rules.
     """
     rules: list[Rule] = [DeterminismRule(), TelemetryPurityRule(),
                          SweepPicklabilityRule(),
                          StatsKeyRegistryRule(docs_path),
-                         MutableDefaultRule(), ApiUsageRule()]
+                         MutableDefaultRule(), ApiUsageRule(),
+                         RobustnessRule()]
     if style:
         rules.extend(cls() for cls in STYLE_RULES)
     return rules
@@ -104,6 +106,7 @@ __all__ = [
     "default_rules", "rules_by_id", "to_sarif", "sarif_json",
     "DeterminismRule", "TelemetryPurityRule", "SweepPicklabilityRule",
     "StatsKeyRegistryRule", "MutableDefaultRule", "ApiUsageRule",
+    "RobustnessRule",
     "LineLengthRule", "WhitespaceRule", "UnusedImportRule",
     "DOMAIN_RULES", "STYLE_RULES", "ALL_RULES",
 ]

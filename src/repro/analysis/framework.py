@@ -15,8 +15,8 @@ the machinery to machine-check such properties on every PR:
   suppressions, and returns findings sorted by location.
 
 Concrete rules live in the sibling modules (``determinism``, ``purity``,
-``picklability``, ``statskeys``, ``mutables``, ``style``); the CLI entry
-point is ``repro lint``.
+``picklability``, ``statskeys``, ``mutables``, ``apiusage``,
+``robustness``, ``style``); the CLI entry point is ``repro lint``.
 """
 
 from __future__ import annotations

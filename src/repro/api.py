@@ -27,11 +27,14 @@ from repro.experiments.designs import FIG5_DESIGNS
 from repro.experiments.runner import (ComboResult, _compare_designs,
                                       _corun_slowdowns, _run_mix, env_scale,
                                       geomean)
+from repro.experiments.resilience import (JobFailure, RetryPolicy,
+                                          SweepReport)
 from repro.experiments.sweep import SweepEngine, SweepStats, _sweep_compare
 from repro.traces.mixes import WorkloadMix, build_mix
 
 __all__ = ["simulate", "sweep", "compare", "corun", "SweepResult",
-           "SimResult", "ComboResult", "ENGINES"]
+           "SimResult", "ComboResult", "ENGINES",
+           "RetryPolicy", "JobFailure", "SweepReport"]
 
 
 def _resolve_scale(scale: float | None) -> float:
@@ -80,6 +83,14 @@ class SweepResult:
     mixes: tuple[str, ...]
     designs: tuple[str, ...]
     stats: SweepStats
+    #: Per-job failure records when ``failures="collect"`` let the sweep
+    #: outlive failing cells (empty on a fully successful run).
+    failures: tuple[JobFailure, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        """True when every cell of the grid simulated successfully."""
+        return not self.failures
 
     def geomean_speedups(self) -> dict[str, float]:
         """Per-design geometric-mean weighted speedup across the mixes."""
@@ -103,7 +114,9 @@ def sweep(*, mixes, designs: tuple[str, ...] = FIG5_DESIGNS,
           scale: float | None = None, seed: int = 7,
           native_geometry: bool = True, jobs: int | None = None,
           cache=None, progress=None, trace_dir: str | None = None,
-          **sim_kw) -> SweepResult:
+          retry: "RetryPolicy | int | None" = None,
+          job_timeout: float | None = None, failures: str = "raise",
+          sweep_telemetry=None, **sim_kw) -> SweepResult:
     """Baseline + ``designs`` on every mix, as one batched grid.
 
     Mixes are names or built mixes; the whole grid (shared baselines
@@ -112,17 +125,28 @@ def sweep(*, mixes, designs: tuple[str, ...] = FIG5_DESIGNS,
     ``cache`` recalls previously simulated cells from disk.  ``trace_dir``
     streams one telemetry JSONL per simulated cell.  Returns a
     :class:`SweepResult`.
+
+    Resilience (docs/robustness.md): ``retry`` re-runs failed cells
+    (an int retry count or a :class:`RetryPolicy`), ``job_timeout``
+    bounds each cell's wall clock, and ``failures="collect"`` records
+    unrecoverable cells on ``SweepResult.failures`` instead of aborting
+    the grid.  ``sweep_telemetry`` receives the engine's ``sweep.*``
+    recovery events (distinct from per-cell simulation telemetry).
     """
     resolve_engine(engine)
     cfg = cfg or default_system()
-    runner = SweepEngine(workers=jobs, cache=cache, progress=progress)
+    runner = SweepEngine(workers=jobs, cache=cache, progress=progress,
+                         retry=retry, job_timeout=job_timeout,
+                         failures=failures, telemetry=sweep_telemetry)
     grid = _sweep_compare(list(mixes), tuple(designs), cfg,
                           scale=_resolve_scale(scale), seed=seed,
                           native_geometry=native_geometry, runner=runner,
                           trace_dir=trace_dir, engine=engine, **sim_kw)
     first = next(iter(grid.values()), {})
+    report = runner.report
     return SweepResult(grid=grid, mixes=tuple(first),
-                       designs=tuple(grid), stats=runner.stats)
+                       designs=tuple(grid), stats=runner.stats,
+                       failures=report.failures if report else ())
 
 
 def compare(*, mix: str | WorkloadMix, designs: tuple[str, ...],
@@ -130,29 +154,47 @@ def compare(*, mix: str | WorkloadMix, designs: tuple[str, ...],
             scale: float | None = None, seed: int = 7,
             jobs: int | None = None, cache=None, progress=None,
             trace_dir: str | None = None,
+            retry: "RetryPolicy | int | None" = None,
+            job_timeout: float | None = None, failures: str = "raise",
             **sim_kw) -> dict[str, ComboResult]:
     """Baseline + ``designs`` on one mix, normalized to the baseline.
 
     A thin single-mix convenience over :func:`sweep`; returns
-    ``{design: ComboResult}`` with ``"baseline"`` first.
+    ``{design: ComboResult}`` with ``"baseline"`` first.  The
+    ``retry`` / ``job_timeout`` / ``failures`` knobs behave as in
+    :func:`sweep`; under ``"collect"`` failed designs are absent from
+    the mapping.
     """
     resolve_engine(engine)
     return _compare_designs(_coerce_mix(mix, scale, seed), tuple(designs),
                             cfg, jobs=jobs, cache=cache, progress=progress,
-                            trace_dir=trace_dir, engine=engine, **sim_kw)
+                            trace_dir=trace_dir, retry=retry,
+                            job_timeout=job_timeout, failures=failures,
+                            engine=engine, **sim_kw)
 
 
 def corun(*, mix: str | WorkloadMix, design="baseline",
           cfg: SystemConfig | None = None, engine: str | None = "fast",
           scale: float | None = None, seed: int = 7, jobs: int | None = None,
-          cache=None, progress=None, **sim_kw) -> dict[str, float]:
+          cache=None, progress=None,
+          retry: "RetryPolicy | int | None" = None,
+          job_timeout: float | None = None, failures: str = "raise",
+          **sim_kw) -> dict[str, float]:
     """Fig. 2(a): per-class slowdown of co-running vs running alone.
 
     ``design`` is a registry name or a zero-argument policy factory.
     Returns ``{"slowdown_cpu", "slowdown_gpu", "corun_cycles_cpu",
-    "corun_cycles_gpu"}``; absent classes report NaN.
+    "corun_cycles_gpu"}``; absent classes report NaN.  The ``retry`` /
+    ``job_timeout`` / ``failures`` knobs behave as in :func:`sweep`
+    (registry-name designs only — factories run serially without the
+    sweep engine).
     """
     resolve_engine(engine)
+    if isinstance(design, str):
+        return _corun_slowdowns(_coerce_mix(mix, scale, seed), cfg, design,
+                                jobs=jobs, cache=cache, progress=progress,
+                                retry=retry, job_timeout=job_timeout,
+                                failures=failures, engine=engine, **sim_kw)
     return _corun_slowdowns(_coerce_mix(mix, scale, seed), cfg, design,
                             jobs=jobs, cache=cache, progress=progress,
                             engine=engine, **sim_kw)

@@ -25,10 +25,11 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
-from repro import api
+from repro import api, faults
 from repro.analysis import default_rules, rules_by_id, run_rules, sarif_json
 from repro.config import default_system, hbm3
 from repro.config_io import apply_overrides, config_from_json, config_to_json
@@ -87,6 +88,20 @@ def _sweep_kwargs(args, *, default_on: bool = False) -> dict:
             "cache": _resolve_cli_cache(args, default_on=default_on)}
 
 
+def _resilience_kwargs(args) -> dict:
+    """retry/timeout/failure-policy kwargs from the resilience flags."""
+    return {"retry": getattr(args, "retries", None),
+            "job_timeout": getattr(args, "timeout", None),
+            "failures": ("collect" if getattr(args, "collect_failures",
+                                              False) else "raise")}
+
+
+def _print_failures(failures) -> None:
+    for f in failures:
+        print(f"FAILED {f.label}: {f.error} "
+              f"[{f.kind}, {f.attempts} attempt(s)]")
+
+
 def cmd_run(args) -> int:
     cfg = _load_cfg(args)
     mix = _build_mix(args)
@@ -120,20 +135,33 @@ def cmd_compare(args) -> int:
     cfg = _load_cfg(args)
     mix = _build_mix(args)
     designs = tuple(args.designs.split(",")) if args.designs else FIG5_DESIGNS
-    out = api.compare(mix=mix, designs=designs, cfg=cfg, engine=args.engine,
-                      trace_dir=getattr(args, "trace", None),
-                      **_sweep_kwargs(args))
+    prev = faults.install(args.faults) if getattr(args, "faults", None) \
+        else None
+    try:
+        out = api.compare(mix=mix, designs=designs, cfg=cfg,
+                          engine=args.engine,
+                          trace_dir=getattr(args, "trace", None),
+                          **_sweep_kwargs(args), **_resilience_kwargs(args))
+    finally:
+        if getattr(args, "faults", None):
+            faults.install(prev)
     rows = [[name, c.weighted_speedup, c.speedup_cpu, c.speedup_gpu,
              c.result.hit_rate("cpu"), c.result.hit_rate("gpu")]
             for name, c in out.items()]
     print(format_table(
         ["design", "weighted", "CPU", "GPU", "cpu hit", "gpu hit"], rows))
+    missing = [d for d in ("baseline",) + designs if d not in out]
+    if missing:
+        print(f"missing (failed) designs: {', '.join(missing)}")
+        return 1
     return 0
 
 
 def cmd_sweep(args) -> int:
     """Run a (mixes x designs) grid through the sweep engine (cached by
     default) and print the Fig. 5-style table plus sweep statistics."""
+    if getattr(args, "chaos", None) is not None:
+        return _run_chaos(args)
     cache = resolve_cache(_resolve_cli_cache(args, default_on=True))
     if args.clear_cache:
         target = cache or SweepCache()
@@ -151,24 +179,111 @@ def cmd_sweep(args) -> int:
     cfg = _load_cfg(args)
 
     specs = [MixSpec(m, scale=args.scale, seed=args.seed) for m in mixes]
-    res = api.sweep(mixes=specs, designs=designs, cfg=cfg,
-                    engine=args.engine, jobs=args.jobs, cache=cache,
-                    progress=None if args.quiet else print,
-                    trace_dir=getattr(args, "trace", None))
+    prev = faults.install(args.faults) if getattr(args, "faults", None) \
+        else None
+    try:
+        res = api.sweep(mixes=specs, designs=designs, cfg=cfg,
+                        engine=args.engine, jobs=args.jobs, cache=cache,
+                        progress=None if args.quiet else print,
+                        trace_dir=getattr(args, "trace", None),
+                        **_resilience_kwargs(args))
+    finally:
+        if getattr(args, "faults", None):
+            faults.install(prev)
 
     results = res.grid
+
+    def cell(design: str, mix_name: str) -> float:
+        combo = results[design].get(mix_name)
+        return combo.weighted_speedup if combo is not None else float("nan")
+
     names = list(results)
-    rows = [[m] + [results[d][m].weighted_speedup for d in names]
-            for m in mixes]
+    rows = [[m] + [cell(d, m) for d in names] for m in mixes]
     rows.append(["geomean"] + [
-        geomean([results[d][m].weighted_speedup for m in mixes])
-        for d in names])
+        geomean([cell(d, m) for m in mixes]) for d in names])
     print(format_table(["mix"] + names, rows))
     if args.csv:
         to_csv(PERF_HEADERS, perf_csv_rows(results), args.csv)
         print(f"perf rows written to {args.csv}")
     print(format_sweep_stats(res.stats))
+    if res.failures:
+        _print_failures(res.failures)
+        return 1
     return 0
+
+
+#: Fault plan used by ``repro sweep --chaos`` when no spec is given:
+#: worker crashes and (twice-repeating) transient exceptions on roughly
+#: half the jobs — selected by job label, so stable across --scale —
+#: plus every cache write torn, seeded so the smoke run is exactly
+#: repeatable.
+DEFAULT_CHAOS_SPEC = "crash:0.6,transient:0.6x2,torn:1@seed=11"
+
+
+def _run_chaos(args) -> int:
+    """Chaos smoke behind ``repro sweep --chaos`` (the check_all gate).
+
+    Runs a small grid three times — (1) under the installed fault plan
+    with retries, pool respawns, and failure collection on; (2) again
+    against the surviving (possibly torn) cache with faults off, to
+    prove resume-from-cache quarantines damaged entries; (3) fault-free
+    against a fresh cache — and verifies all three grids are
+    bit-identical.  Exits 0 only when they are, no job was lost, and at
+    least one recovery path actually fired (otherwise the smoke would
+    be vacuous).
+    """
+    import tempfile
+
+    from repro.api import RetryPolicy
+
+    mixes = args.mixes.split(",") if args.mixes else ["C1"]
+    designs = tuple(args.designs.split(",")) if args.designs \
+        else ("waypart",)
+    cfg = _load_cfg(args)
+    jobs = args.jobs if args.jobs is not None else 2
+    say = None if args.quiet else print
+    specs = [MixSpec(m, scale=args.scale, seed=args.seed) for m in mixes]
+    retry = RetryPolicy(max_attempts=4, backoff_base=0.01)
+    rec = EpochRecorder()
+
+    env_prev = os.environ.pop(faults.FAULTS_ENV, None)
+    prev = faults.install(args.chaos)
+    try:
+        print(f"chaos: injecting {faults.active().describe()}")
+        with tempfile.TemporaryDirectory(prefix="repro-chaos-") as chaos_dir:
+            chaotic = api.sweep(mixes=specs, designs=designs, cfg=cfg,
+                                engine=args.engine, jobs=jobs,
+                                cache=chaos_dir, progress=say, retry=retry,
+                                job_timeout=args.timeout,
+                                failures="collect", sweep_telemetry=rec)
+            faults.install(None)
+            # Resume against the survived cache: torn entries must be
+            # quarantined and re-simulated, not returned half-read.
+            resumed = api.sweep(mixes=specs, designs=designs, cfg=cfg,
+                                engine=args.engine, jobs=1, cache=chaos_dir)
+        with tempfile.TemporaryDirectory(prefix="repro-clean-") as clean_dir:
+            clean = api.sweep(mixes=specs, designs=designs, cfg=cfg,
+                              engine=args.engine, jobs=1, cache=clean_dir)
+    finally:
+        faults.install(prev)
+        if env_prev is not None:
+            os.environ[faults.FAULTS_ENV] = env_prev
+
+    n_retry = len(rec.events_of("sweep.retry"))
+    n_restart = len(rec.events_of("sweep.pool_restart"))
+    n_degraded = len(rec.events_of("sweep.degraded"))
+    recovered = n_retry + n_restart + n_degraded
+    identical = chaotic.grid == clean.grid and resumed.grid == clean.grid
+    print(f"chaos: {n_retry} retries, {n_restart} pool restart(s), "
+          f"{n_degraded} degradation(s), {len(chaotic.failures)} lost "
+          f"job(s); bit-identical to clean run: {identical}")
+    if chaotic.failures:
+        _print_failures(chaotic.failures)
+    if not recovered:
+        print("chaos: no recovery path fired — the fault spec selected "
+              "nothing; tune rates/seed")
+        return 1
+    return 0 if identical and not chaotic.failures else 1
 
 
 def cmd_trace(args) -> int:
@@ -365,6 +480,23 @@ def make_parser() -> argparse.ArgumentParser:
         sp.add_argument("--no-cache", action="store_true",
                         help="disable the result cache")
 
+    def resilience_opts(sp):
+        sp.add_argument("--retries", type=int, default=None, metavar="N",
+                        help="re-run a failed cell up to N extra times "
+                             "with deterministic backoff (default 0; see "
+                             "docs/robustness.md)")
+        sp.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                        help="per-job wall-clock budget in seconds "
+                             "(overruns fail the job as a timeout)")
+        sp.add_argument("--collect-failures", action="store_true",
+                        help="record unrecoverable cells and keep going "
+                             "instead of aborting the grid (exit 1 if any)")
+        sp.add_argument("--faults", metavar="SPEC",
+                        help="install a deterministic fault-injection plan, "
+                             "e.g. 'transient:0.5x2@seed=3' "
+                             "(kinds: crash, transient, hang, torn; "
+                             "see docs/robustness.md)")
+
     sp = sub.add_parser("run", help="simulate one design on one mix")
     common(sp)
     engine_opt(sp)
@@ -380,6 +512,7 @@ def make_parser() -> argparse.ArgumentParser:
     engine_opt(sp)
     sp.add_argument("--designs", help="comma-separated design names")
     sweep_opts(sp)
+    resilience_opts(sp)
     sp.add_argument("--trace", metavar="DIR",
                     help="write one telemetry JSONL per run into DIR "
                          "(cache hits skip the run, so combine with "
@@ -409,6 +542,13 @@ def make_parser() -> argparse.ArgumentParser:
     sp.add_argument("--designs", help="comma-separated design names "
                                       "(default: the Fig. 5 set)")
     sweep_opts(sp)
+    resilience_opts(sp)
+    sp.add_argument("--chaos", nargs="?", const=DEFAULT_CHAOS_SPEC,
+                    default=None, metavar="SPEC",
+                    help="chaos smoke: run a small grid (default mix C1, "
+                         "design waypart) under injected faults, then "
+                         "verify results are bit-identical to a clean run "
+                         "(default spec exercises crash/transient/torn)")
     sp.add_argument("--clear-cache", action="store_true",
                     help="empty the result cache before running")
     sp.add_argument("--csv", metavar="PATH",
@@ -450,7 +590,7 @@ def make_parser() -> argparse.ArgumentParser:
                     help="comma-separated rule ids/names or the groups "
                          "domain|style|all (default: all)")
     sp.add_argument("--no-style", action="store_true",
-                    help="run only the six domain rules")
+                    help="run only the seven domain rules")
     sp.add_argument("--docs", metavar="PATH",
                     help="Stats counter registry document "
                          "(default: docs/telemetry.md if present)")

@@ -25,6 +25,24 @@ from repro.traces.mixes import WorkloadMix
 #: Hard safety cap on simulated cycles (runaway-configuration backstop).
 MAX_CYCLES_DEFAULT = 50_000_000.0
 
+#: Consecutive zero-progress epochs tolerated before the non-progress
+#: watchdog raises :class:`SimulationStalled`.  Generous on purpose:
+#: any legitimate workload retires instructions every epoch, so only a
+#: genuinely wedged memory path or pathological configuration trips it.
+STALL_EPOCHS_DEFAULT = 500
+
+
+class SimulationStalled(RuntimeError):
+    """The simulation stopped making forward progress.
+
+    Raised by the epoch-tick watchdog (reference and fast engines
+    alike) when no agent retired a single instruction for
+    ``stall_epochs`` consecutive epochs while agents are still
+    unfinished — a diagnosable error instead of spinning until the
+    ``max_cycles`` backstop, which on a pathological configuration can
+    be effectively forever.
+    """
+
 #: Stats counters sampled (as per-epoch deltas) into telemetry epoch
 #: records; requested explicitly so quiescent epochs report zeros
 #: (see ``Stats.delta``).
@@ -92,7 +110,8 @@ class Simulation:
                  mix: WorkloadMix, max_cycles: float = MAX_CYCLES_DEFAULT,
                  record_epochs: bool = False, warmup_cpu: float = 0.25,
                  warmup_gpu: float = 0.35,
-                 telemetry: Telemetry | None = None) -> None:
+                 telemetry: Telemetry | None = None,
+                 stall_epochs: int | None = STALL_EPOCHS_DEFAULT) -> None:
         self.cfg = cfg
         self.mix = mix
         self.max_cycles = max_cycles
@@ -119,6 +138,9 @@ class Simulation:
         for agent in self.agents:
             agent.on_done = self._agent_done
         self._last_retired = {"cpu": 0.0, "gpu": 0.0}
+        self.stall_epochs = stall_epochs
+        self._stall_count = 0
+        self._stall_retired = -1.0
         self.epoch_log: list[dict] = []
         # Telemetry epoch-delta state (touched only when a sink is enabled).
         self._epoch_index = 0
@@ -152,7 +174,31 @@ class Simulation:
             metrics.update(self.policy.describe())
             self.epoch_log.append(metrics)
         if not self._all_done():
+            self._check_progress(now)
             self.eq.after(ep, self._epoch_tick)
+
+    def _check_progress(self, now: float) -> None:
+        """Non-progress watchdog: every live epoch must retire something.
+
+        ``_last_retired`` is already epoch-fresh here (``_epoch_metrics``
+        updated it this tick), so a flat cumulative total across
+        ``stall_epochs`` consecutive epochs means the memory path is
+        wedged, not slow.
+        """
+        if not self.stall_epochs:
+            return
+        total = self._last_retired["cpu"] + self._last_retired["gpu"]
+        if total > self._stall_retired:
+            self._stall_retired = total
+            self._stall_count = 0
+            return
+        self._stall_count += 1
+        if self._stall_count >= self.stall_epochs:
+            raise SimulationStalled(
+                f"no instructions retired for {self._stall_count} epochs "
+                f"(mix={self.mix.name!r}, policy={self.policy.name!r}, "
+                f"epoch={self._epoch_index}, t={now:g}, "
+                f"{self._remaining}/{len(self.agents)} agents unfinished)")
 
     def _epoch_metrics(self, epoch_cycles: float) -> dict:
         ipc = {}

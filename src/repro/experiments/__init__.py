@@ -11,6 +11,8 @@ markers below exempt this re-export hub from the API01 lint rule).
 
 from repro.experiments.cache import SweepCache
 from repro.experiments.designs import ALL_DESIGNS, FIG5_DESIGNS, make_policy
+from repro.experiments.resilience import (JobFailure, JobTimeout,
+                                          RetryPolicy, SweepReport)
 from repro.experiments.runner import (compare_designs,  # noqa: API01
                                       corun_slowdowns, run_mix,
                                       weighted_speedup)
@@ -20,4 +22,5 @@ from repro.experiments.sweep import (MixSpec, SweepEngine,  # noqa: API01
 __all__ = ["ALL_DESIGNS", "FIG5_DESIGNS", "make_policy", "compare_designs",
            "corun_slowdowns", "run_mix", "weighted_speedup", "MixSpec",
            "SweepCache", "SweepEngine", "SweepJob", "sweep_compare",
-           "sweep_corun"]
+           "sweep_corun", "RetryPolicy", "JobFailure", "JobTimeout",
+           "SweepReport"]

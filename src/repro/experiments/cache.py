@@ -24,8 +24,10 @@ import hashlib
 import os
 import pickle
 import tempfile
+import warnings
 from pathlib import Path
 
+from repro import faults
 from repro.config_io import canonical_json
 
 #: Bump when the cached payload layout or simulator semantics change in a
@@ -58,6 +60,10 @@ class SweepCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        #: Set once a write fails (read-only dir, disk full): the cache
+        #: stops reading and writing for the rest of the sweep rather
+        #: than aborting the run — results still come back, just uncached.
+        self.disabled = False
 
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"
@@ -67,6 +73,8 @@ class SweepCache:
 
     def get(self, key: str):
         """Stored result for ``key`` or ``None`` (counts as hit/miss)."""
+        if self.disabled:
+            return None
         path = self.path_for(key)
         try:
             with open(path, "rb") as fh:
@@ -86,22 +94,51 @@ class SweepCache:
         self.hits += 1
         return value
 
-    def put(self, key: str, value) -> None:
-        """Atomically store ``value`` under ``key``."""
+    def put(self, key: str, value) -> bool:
+        """Atomically store ``value`` under ``key``.
+
+        Returns ``True`` on success.  A failing write (read-only
+        directory, disk full) warns once and *disables* the cache for
+        the rest of the sweep instead of aborting a half-finished grid:
+        losing cache persistence is recoverable, losing the sweep is
+        not.  Non-I/O errors (e.g. an unpicklable value) still raise.
+        """
+        if self.disabled:
+            return False
         path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        tmp = None
         try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
             with os.fdopen(fd, "wb") as fh:
                 pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp, path)
+        except OSError as exc:
+            self._disable(exc, tmp)
+            return False
         except BaseException:
+            if tmp is not None:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+            raise
+        faults.maybe_tear(path, key)
+        self.stores += 1
+        return True
+
+    def _disable(self, exc: OSError, tmp: str | None) -> None:
+        if tmp is not None:
             try:
                 os.unlink(tmp)
             except OSError:
                 pass
-            raise
-        self.stores += 1
+        self.disabled = True
+        warnings.warn(
+            f"sweep cache write failed ({type(exc).__name__}: {exc}); "
+            f"disabling the cache under {self.root} for the rest of this "
+            f"run — results are kept in memory but will not persist",
+            RuntimeWarning, stacklevel=3)
 
     def __contains__(self, key: str) -> bool:
         return self.path_for(key).exists()

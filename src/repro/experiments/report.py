@@ -150,4 +150,12 @@ def format_sweep_stats(stats) -> str:
     if slowest:
         worst = ", ".join(f"{label} {dt:.2f}s" for label, dt in slowest)
         lines.append(f"slowest jobs: {worst}")
+    if stats.retries or stats.failed or stats.pool_restarts or stats.degraded:
+        bits = [f"{stats.retries} retried, {stats.failed} failed "
+                f"({stats.timeouts} timeout)",
+                f"{stats.pool_restarts} pool restart(s) "
+                f"({stats.requeued} requeued)"]
+        if stats.degraded:
+            bits.append("degraded to serial")
+        lines.append("resilience: " + ", ".join(bits))
     return "\n".join(lines)

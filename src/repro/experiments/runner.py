@@ -119,15 +119,24 @@ def slowdown_metrics(corun: SimResult, solo_cpu: SimResult | None,
 def _compare_designs(mix: WorkloadMix, designs: tuple[str, ...],
                      cfg: SystemConfig | None = None, *,
                      jobs: int | None = None, cache=None, progress=None,
-                     trace_dir: str | None = None,
+                     trace_dir: str | None = None, retry=None,
+                     job_timeout: float | None = None,
+                     failures: str = "raise",
                      **sim_kw) -> dict[str, ComboResult]:
-    """Run the baseline plus ``designs`` on one mix; normalize to baseline."""
+    """Run the baseline plus ``designs`` on one mix; normalize to baseline.
+
+    Under ``failures="collect"`` designs whose cell failed are absent
+    from the returned mapping (empty if the shared baseline failed).
+    """
     from repro.experiments.sweep import SweepEngine, _sweep_compare
     cfg = cfg or default_system()
-    runner = SweepEngine(workers=jobs, cache=cache, progress=progress)
+    runner = SweepEngine(workers=jobs, cache=cache, progress=progress,
+                         retry=retry, job_timeout=job_timeout,
+                         failures=failures)
     per = _sweep_compare([mix], tuple(designs), cfg, runner=runner,
                          trace_dir=trace_dir, **sim_kw)
-    return {design: by_mix[mix.name] for design, by_mix in per.items()}
+    return {design: by_mix[mix.name] for design, by_mix in per.items()
+            if mix.name in by_mix}
 
 
 def compare_designs(mix: WorkloadMix, designs: tuple[str, ...],
@@ -149,14 +158,23 @@ def compare_designs(mix: WorkloadMix, designs: tuple[str, ...],
 
 def _corun_slowdowns(mix: WorkloadMix, cfg: SystemConfig | None = None,
                      design="baseline", *, jobs: int | None = None,
-                     cache=None, progress=None, **sim_kw) -> dict[str, float]:
+                     cache=None, progress=None, retry=None,
+                     job_timeout: float | None = None,
+                     failures: str = "raise", **sim_kw) -> dict[str, float]:
     """Fig. 2(a) reduction behind :func:`repro.api.corun`."""
     cfg = cfg or default_system()
     if isinstance(design, str):
         from repro.experiments.sweep import SweepEngine, _sweep_corun
-        runner = SweepEngine(workers=jobs, cache=cache, progress=progress)
-        return _sweep_corun([mix], cfg, design=design, runner=runner,
-                            **sim_kw)[mix.name]
+        runner = SweepEngine(workers=jobs, cache=cache, progress=progress,
+                             retry=retry, job_timeout=job_timeout,
+                             failures=failures)
+        out = _sweep_corun([mix], cfg, design=design, runner=runner,
+                           **sim_kw)
+        if mix.name not in out:   # co-run cell failed under "collect"
+            return {"slowdown_cpu": float("nan"),
+                    "slowdown_gpu": float("nan"),
+                    "corun_cycles_cpu": None, "corun_cycles_gpu": None}
+        return out[mix.name]
 
     solo_cpu = (_run_mix(design(), cpu_only(mix), cfg, **sim_kw)
                 if mix.cpu_traces else None)

@@ -22,6 +22,20 @@ Knobs
   :class:`~repro.experiments.cache.SweepCache`, or ``None``/``False``.
 * ``progress`` — a ``callable(str)`` (e.g. ``print``) receiving queue /
   cache-hit / per-job-completion lines.
+* ``retry`` / ``job_timeout`` / ``failures`` — resilience knobs (see
+  :mod:`repro.experiments.resilience` and docs/robustness.md): bounded
+  deterministic retries, a per-job wall-clock budget, and whether an
+  exhausted job failure aborts the grid (``"raise"``, default) or is
+  recorded in the returned :class:`~repro.experiments.resilience.
+  SweepReport` (``"collect"``).
+
+``run()`` additionally survives worker-pool deaths
+(:class:`concurrent.futures.BrokenExecutor`): completed results are
+kept, in-flight jobs are requeued into a respawned pool, and after
+``degrade_after`` consecutive pool deaths the engine falls back to
+serial in-process execution.  Completed jobs are always written to the
+cache as they finish, so an interrupted sweep resumes from the cache on
+rerun.
 """
 
 from __future__ import annotations
@@ -29,16 +43,23 @@ from __future__ import annotations
 import hashlib
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import (FIRST_COMPLETED, BrokenExecutor,
+                                ProcessPoolExecutor, wait)
 from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
 
+from repro import faults
 from repro.config import SystemConfig, default_system
 from repro.config_io import config_digest
 from repro.engine.simulator import SimResult
 from repro.experiments.cache import SweepCache, resolve_cache
+from repro.experiments.resilience import (JobFailure, RetryPolicy,
+                                          SweepReport, failure_from,
+                                          resolve_failure_policy,
+                                          resolve_retry, time_limit)
 from repro.experiments.runner import (_deprecated, _run_mix,
                                       slowdown_metrics, weighted_speedup)
+from repro.telemetry import NULL_SINK, Telemetry
 from repro.traces.mixes import (CPU_COPIES, WorkloadMix, build_mix, cpu_only,
                                 gpu_only)
 
@@ -182,10 +203,22 @@ class SweepJob:
                 "sim_kw": kw}
 
 
-def _execute_job(job: SweepJob) -> tuple[SimResult, float]:
-    """Worker entry point: run one job, measuring its wall time."""
+def _execute_job(job: SweepJob, timeout: float | None = None,
+                 attempt: int = 1) -> tuple[SimResult, float]:
+    """Worker entry point: run one job, measuring its wall time.
+
+    ``timeout`` bounds the job's wall clock (``JobTimeout`` on overrun);
+    ``attempt`` is the 1-based try number, consumed only by the fault
+    injector so a retried attempt deterministically clears (or keeps
+    hitting) an injected fault.
+    """
     t0 = time.perf_counter()
-    return job.run(), time.perf_counter() - t0
+    with time_limit(timeout, job.label):
+        # Inside the guard: an injected hang must be interruptible by the
+        # timeout exactly like a genuine in-job hang.
+        faults.maybe_fault(job.label, attempt, timeout)
+        res = job.run()
+    return res, time.perf_counter() - t0
 
 
 @dataclass
@@ -201,6 +234,13 @@ class SweepStats:
     completed: int = 0
     wall_total: float = 0.0               # engine wall-clock over run()s
     job_walls: dict[str, float] = field(default_factory=dict)
+    # Resilience counters (see repro.experiments.resilience).
+    retries: int = 0       # failed attempts that were re-run
+    failed: int = 0        # jobs that exhausted their retries
+    timeouts: int = 0      # subset of `failed` that ended on JobTimeout
+    requeued: int = 0      # in-flight jobs resubmitted after a pool death
+    pool_restarts: int = 0
+    degraded: bool = False  # some run() fell back to serial execution
 
     @property
     def hit_rate(self) -> float:
@@ -211,25 +251,55 @@ class SweepStats:
 
 
 class SweepEngine:
-    """Deduplicating, caching, process-pool runner for sweep jobs."""
+    """Deduplicating, caching, process-pool runner for sweep jobs.
+
+    Resilience knobs (module docstring, docs/robustness.md): ``retry``
+    (``None`` = no retries, an int = that many retries, or a full
+    :class:`~repro.experiments.resilience.RetryPolicy`), ``job_timeout``
+    (per-job wall-clock budget in seconds), ``failures`` (``"raise"``
+    fail-fast vs ``"collect"``), ``degrade_after`` (consecutive pool
+    deaths tolerated before falling back to serial), and ``telemetry``
+    (a :class:`~repro.telemetry.Telemetry` sink receiving the
+    ``sweep.*`` events of docs/telemetry.md).
+    """
 
     def __init__(self, workers: int | None = None, cache=None,
-                 progress=None) -> None:
+                 progress=None, retry: "RetryPolicy | int | None" = None,
+                 job_timeout: float | None = None, failures: str = "raise",
+                 degrade_after: int = 3,
+                 telemetry: Telemetry | None = None) -> None:
         self.workers = resolve_workers(workers)
         self.cache: SweepCache | None = resolve_cache(cache)
         self.progress = progress
+        self.retry = resolve_retry(retry)
+        self.job_timeout = job_timeout
+        self.failures = resolve_failure_policy(failures)
+        if degrade_after < 1:
+            raise ValueError(
+                f"degrade_after must be >= 1, got {degrade_after}")
+        self.degrade_after = degrade_after
+        self.telemetry = telemetry if telemetry is not None else NULL_SINK
         self.stats = SweepStats(workers=self.workers)
+        #: The :class:`SweepReport` of the most recent :meth:`run`.
+        self.report: SweepReport | None = None
 
     def _say(self, msg: str) -> None:
         if self.progress is not None:
             self.progress(msg)
 
-    def run(self, jobs) -> dict[SweepJob, SimResult]:
+    def run(self, jobs) -> SweepReport:
         """Run (or recall) every job; returns results in submission order.
 
         Duplicate jobs — e.g. the shared baseline of several comparisons —
         are simulated once.  With ``workers > 1`` pending jobs execute in a
         process pool; completion order never affects the returned mapping.
+
+        The return value is a :class:`~repro.experiments.resilience.
+        SweepReport`: a mapping ``{job: result}`` over the successful
+        jobs (equal to the plain dict previous versions returned) that
+        also carries per-job failure records and recovery counters.
+        Every completed job is written to the cache as it finishes, so
+        an aborted or interrupted sweep resumes from the cache on rerun.
         """
         t0 = time.perf_counter()
         jobs = list(jobs)
@@ -272,21 +342,219 @@ class SweepEngine:
                 self.cache.put(keys[job], res)
             self._say(f"  [{done}/{len(pending)}] {job.label} ({dt:.2f}s)")
 
+        attempts = {job: 0 for job in pending}   # completed tries per job
+        failures: dict[SweepJob, JobFailure] = {}
+        counters = {"retries": 0, "requeued": 0, "pool_restarts": 0,
+                    "degraded": 0}
+
         if self.workers > 1 and len(pending) > 1:
-            with ProcessPoolExecutor(
-                    max_workers=min(self.workers, len(pending))) as pool:
-                futures = {pool.submit(_execute_job, job): job
-                           for job in pending}
-                for fut in as_completed(futures):
-                    res, dt = fut.result()
-                    record(futures[fut], res, dt)
+            self._run_pool(pending, attempts, failures, counters, record)
         else:
-            for job in pending:
-                res, dt = _execute_job(job)
-                record(job, res, dt)
+            self._run_serial(pending, attempts, failures, counters, record)
 
         self.stats.wall_total += time.perf_counter() - t0
-        return {job: results[job] for job in ordered}
+        report = SweepReport(
+            {job: results[job] for job in ordered if job in results},
+            failures=tuple(failures[job] for job in ordered
+                           if job in failures),
+            retries=counters["retries"], requeued=counters["requeued"],
+            pool_restarts=counters["pool_restarts"],
+            degraded=bool(counters["degraded"]))
+        self.report = report
+        if not report.ok or counters["retries"] or counters["pool_restarts"]:
+            self._say("sweep: " + report.summary())
+        return report
+
+    # -- execution backends ------------------------------------------------
+
+    def _run_serial(self, queue, attempts, failures, counters,
+                    record) -> None:
+        """In-process execution with the same retry/failure semantics."""
+        for job in queue:
+            while True:
+                try:
+                    res, dt = _execute_job(job, self.job_timeout,
+                                           attempts[job] + 1)
+                except (KeyboardInterrupt, SystemExit):
+                    raise
+                except Exception as exc:
+                    attempts[job] += 1
+                    if self.retry.retryable(attempts[job]):
+                        self._note_retry(job, exc, attempts[job], counters)
+                        continue
+                    self._fail(job, exc, attempts[job], failures)
+                    break
+                attempts[job] += 1
+                record(job, res, dt)
+                break
+
+    def _run_pool(self, pending, attempts, failures, counters,
+                  record) -> None:
+        """Process-pool execution surviving worker and pool deaths.
+
+        Runs generations of pools: jobs still outstanding after a pool
+        death (``BrokenExecutor``) are requeued — with their attempt
+        counter bumped, so a deterministically injected crash clears —
+        into a fresh pool; after ``degrade_after`` consecutive deaths
+        the remainder runs serially in-process.
+        """
+        outstanding = dict.fromkeys(pending)   # insertion-ordered set
+        pool_deaths = 0
+        while outstanding:
+            queue = [j for j in pending if j in outstanding]
+            pool = ProcessPoolExecutor(
+                max_workers=min(self.workers, len(queue)))
+            # Submission can itself find the pool broken (a worker
+            # crashing on an early job while later jobs are still being
+            # submitted): that is a pool death, not a sweep error.
+            inflight = {}
+            broken = False
+            try:
+                for j in queue:
+                    try:
+                        inflight[pool.submit(_execute_job, j,
+                                             self.job_timeout,
+                                             attempts[j] + 1)] = j
+                    except BrokenExecutor:
+                        broken = True
+                        break
+                while inflight and not broken:
+                    ready, _ = wait(list(inflight),
+                                    return_when=FIRST_COMPLETED)
+                    for fut in ready:
+                        job = inflight.pop(fut)
+                        try:
+                            res, dt = fut.result()
+                        except BrokenExecutor:
+                            broken = True
+                            continue
+                        except Exception as exc:
+                            attempts[job] += 1
+                            if self.retry.retryable(attempts[job]):
+                                self._note_retry(job, exc, attempts[job],
+                                                 counters)
+                                try:
+                                    inflight[pool.submit(
+                                        _execute_job, job, self.job_timeout,
+                                        attempts[job] + 1)] = job
+                                except BrokenExecutor:
+                                    # Pool died under the resubmission;
+                                    # the job stays outstanding and is
+                                    # requeued into the next pool.
+                                    broken = True
+                            else:
+                                del outstanding[job]
+                                self._fail(job, exc, attempts[job],
+                                           failures)
+                            continue
+                        attempts[job] += 1
+                        del outstanding[job]
+                        pool_deaths = 0
+                        record(job, res, dt)
+            except KeyboardInterrupt:
+                self._flush_on_interrupt(pool, inflight, attempts,
+                                         outstanding, record)
+                raise
+            except Exception:
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
+            if not broken:
+                pool.shutdown(wait=True)
+                return
+            # Pool died.  Harvest results that finished before the death
+            # (nothing completed may be lost), then requeue the rest.
+            for fut in list(inflight):
+                job = inflight[fut]
+                if fut.done() and not fut.cancelled() \
+                        and fut.exception() is None:
+                    res, dt = fut.result()
+                    attempts[job] += 1
+                    del outstanding[job]
+                    record(job, res, dt)
+            pool.shutdown(wait=False, cancel_futures=True)
+            pool_deaths += 1
+            self.stats.pool_restarts += 1
+            counters["pool_restarts"] += 1
+            requeued = [j for j in pending if j in outstanding]
+            counters["requeued"] += len(requeued)
+            self.stats.requeued += len(requeued)
+            for j in requeued:
+                attempts[j] += 1   # clears a deterministic injected crash
+            self.telemetry.event("sweep.pool_restart", deaths=pool_deaths,
+                                 requeued=len(requeued))
+            self._say(f"sweep: worker pool died ({pool_deaths} "
+                      f"consecutive); requeueing {len(requeued)} job(s)")
+            if pool_deaths >= self.degrade_after and outstanding:
+                counters["degraded"] = 1
+                self.stats.degraded = True
+                remaining = [j for j in pending if j in outstanding]
+                self.telemetry.event("sweep.degraded",
+                                     pool_deaths=pool_deaths,
+                                     remaining=len(remaining))
+                self._say(f"sweep: degrading to serial execution for "
+                          f"{len(remaining)} remaining job(s)")
+                self._run_serial(remaining, attempts, failures, counters,
+                                 record)
+                return
+
+    # -- resilience bookkeeping --------------------------------------------
+
+    def _note_retry(self, job, exc: Exception, attempt: int,
+                    counters) -> None:
+        """Account for a retryable failure and apply its backoff delay."""
+        delay = self.retry.delay(job.label, attempt)
+        counters["retries"] += 1
+        self.stats.retries += 1
+        self.telemetry.event("sweep.retry", label=job.label,
+                             attempt=attempt, delay=delay,
+                             error=f"{type(exc).__name__}: {exc}")
+        self._say(f"  retry {job.label} (attempt {attempt} failed: "
+                  f"{type(exc).__name__}) after {delay:.2f}s")
+        if delay > 0:
+            time.sleep(delay)
+
+    def _fail(self, job, exc: Exception, attempt: int, failures) -> None:
+        """Record an exhausted job; re-raise under the "raise" policy."""
+        failure = failure_from(job.label, exc, attempt, job=job)
+        failures[job] = failure
+        self.stats.failed += 1
+        if failure.kind == "timeout":
+            self.stats.timeouts += 1
+        self.telemetry.event("sweep.failure", label=job.label,
+                             attempts=attempt, reason=failure.kind,
+                             error=failure.error)
+        self._say(f"  FAILED {job.label} after {attempt} attempt(s): "
+                  f"{failure.error}")
+        if self.failures == "raise":
+            raise exc
+
+    def _flush_on_interrupt(self, pool, inflight, attempts, outstanding,
+                            record) -> None:
+        """Ctrl-C during a parallel sweep: keep finished work, then die.
+
+        Cancels not-yet-running futures, records (and therefore caches)
+        results that already finished but were not yet collected, and
+        tears the pool down without waiting so no worker process is
+        left orphaned; the caller re-raises the ``KeyboardInterrupt``.
+        """
+        for fut in list(inflight):
+            fut.cancel()
+        for fut in list(inflight):
+            job = inflight[fut]
+            if fut.done() and not fut.cancelled() \
+                    and fut.exception() is None:
+                res, dt = fut.result()
+                attempts[job] += 1
+                if job in outstanding:
+                    del outstanding[job]
+                record(job, res, dt)
+        pool.shutdown(wait=False, cancel_futures=True)
+        procs = getattr(pool, "_processes", None) or {}
+        for proc in list(procs.values()):
+            try:
+                proc.terminate()
+            except (OSError, AttributeError):
+                pass
 
 
 def as_spec(mix, *, scale: float = 1.0, seed: int = 7):
@@ -308,16 +576,24 @@ def _sweep_compare(mixes, designs, cfg: SystemConfig | None = None, *,
                    runner: SweepEngine | None = None,
                    workers: int | None = None, cache=None, progress=None,
                    trace_dir: str | None = None,
+                   retry=None, job_timeout: float | None = None,
+                   failures: str = "raise", sweep_telemetry=None,
                    **sim_kw) -> dict[str, dict[str, "ComboResult"]]:
     """Grid submission behind :func:`repro.api.sweep`.
 
     ``runner`` is the :class:`SweepEngine`; a simulation-core selector
     travels inside ``sim_kw`` as ``engine=...`` (the names differ so the
-    two kinds of engine can be passed together).
+    two kinds of engine can be passed together).  Under
+    ``failures="collect"`` a mix whose cell failed is simply absent from
+    the affected design rows (and from every row, if its shared baseline
+    failed); the per-job records live on ``runner.report.failures``.
     """
     cfg = cfg or default_system()
     runner = runner or SweepEngine(workers=workers, cache=cache,
-                                   progress=progress)
+                                   progress=progress, retry=retry,
+                                   job_timeout=job_timeout,
+                                   failures=failures,
+                                   telemetry=sweep_telemetry)
     specs = [as_spec(m, scale=scale, seed=seed) for m in mixes]
     names = list(dict.fromkeys(("baseline",) + tuple(designs)))
     frozen = freeze_kw(sim_kw)
@@ -329,10 +605,15 @@ def _sweep_compare(mixes, designs, cfg: SystemConfig | None = None, *,
     results = runner.run([job(s, d) for s in specs for d in names])
     out: dict[str, dict] = {d: {} for d in names}
     for spec in specs:
-        base = results[job(spec, "baseline")]
+        base = results.get(job(spec, "baseline"))
+        if base is None:
+            continue   # baseline failed ("collect"): the mix has no rows
         for d in names:
+            res = results.get(job(spec, d))
+            if res is None:
+                continue
             out[d][_name_of(spec)] = weighted_speedup(
-                results[job(spec, d)], base, cfg.weight_cpu, cfg.weight_gpu)
+                res, base, cfg.weight_cpu, cfg.weight_gpu)
     return out
 
 
@@ -378,11 +659,21 @@ def _sweep_corun(mixes, cfg: SystemConfig | None = None, *,
                  runner: SweepEngine | None = None,
                  workers: int | None = None, cache=None, progress=None,
                  trace_dir: str | None = None,
+                 retry=None, job_timeout: float | None = None,
+                 failures: str = "raise", sweep_telemetry=None,
                  **sim_kw) -> dict[str, dict[str, float]]:
-    """Solo/co-run batching behind :func:`repro.api.corun`."""
+    """Solo/co-run batching behind :func:`repro.api.corun`.
+
+    Under ``failures="collect"`` a mix whose co-run cell failed is
+    absent from the output; a failed solo cell degrades that side's
+    slowdown to NaN (the one-sided-mix semantics).
+    """
     cfg = cfg or default_system()
     runner = runner or SweepEngine(workers=workers, cache=cache,
-                                   progress=progress)
+                                   progress=progress, retry=retry,
+                                   job_timeout=job_timeout,
+                                   failures=failures,
+                                   telemetry=sweep_telemetry)
     frozen = freeze_kw(sim_kw)
 
     def job(mix):
@@ -401,10 +692,13 @@ def _sweep_corun(mixes, cfg: SystemConfig | None = None, *,
     results = runner.run(jobs)
     out = {}
     for spec, solo_cpu, solo_gpu in trios:
+        corun = results.get(job(spec))
+        if corun is None:
+            continue   # co-run cell failed ("collect"): no row for the mix
         out[_name_of(spec)] = slowdown_metrics(
-            results[job(spec)],
-            results[job(solo_cpu)] if solo_cpu is not None else None,
-            results[job(solo_gpu)] if solo_gpu is not None else None)
+            corun,
+            results.get(job(solo_cpu)) if solo_cpu is not None else None,
+            results.get(job(solo_gpu)) if solo_gpu is not None else None)
     return out
 
 

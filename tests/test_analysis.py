@@ -18,10 +18,10 @@ from pathlib import Path
 import pytest
 
 from repro.analysis import (ApiUsageRule, DeterminismRule,
-                            MutableDefaultRule, Rule, StatsKeyRegistryRule,
-                            SweepPicklabilityRule, TelemetryPurityRule,
-                            UnusedImportRule, default_rules, rules_by_id,
-                            run_rules, to_sarif)
+                            MutableDefaultRule, RobustnessRule, Rule,
+                            StatsKeyRegistryRule, SweepPicklabilityRule,
+                            TelemetryPurityRule, UnusedImportRule,
+                            default_rules, rules_by_id, run_rules, to_sarif)
 
 REPO = Path(__file__).resolve().parents[1]
 
@@ -276,11 +276,69 @@ def test_api01_noqa_suppression(tmp_path):
     assert findings == []
 
 
+def test_rob01_bare_except(tmp_path):
+    findings = lint_source(tmp_path, """\
+        def run(job):
+            try:
+                return job()
+            except:
+                return None
+        """, RobustnessRule(), name="repro/mod.py")
+    assert [f.rule_id for f in findings] == ["ROB01"]
+    assert findings[0].line == 4
+    assert "bare except" in findings[0].message
+
+
+def test_rob01_swallowed_baseexception(tmp_path):
+    findings = lint_source(tmp_path, """\
+        def run(job):
+            try:
+                return job()
+            except (ValueError, BaseException) as exc:
+                print(exc)
+        """, RobustnessRule(), name="repro/mod.py")
+    assert [f.rule_id for f in findings] == ["ROB01"]
+    assert "re-raise" in findings[0].message
+
+
+def test_rob01_reraising_baseexception_is_clean(tmp_path):
+    findings = lint_source(tmp_path, """\
+        def run(job, tmp):
+            try:
+                return job()
+            except BaseException:
+                tmp.unlink()
+                raise
+        """, RobustnessRule(), name="repro/mod.py")
+    assert findings == []
+
+
+def test_rob01_ignores_code_outside_repro(tmp_path):
+    findings = lint_source(tmp_path, """\
+        try:
+            import fancy
+        except:
+            fancy = None
+        """, RobustnessRule(), name="scripts/mod.py")
+    assert findings == []
+
+
+def test_rob01_noqa_suppression(tmp_path):
+    findings = lint_source(tmp_path, """\
+        def run(job):
+            try:
+                return job()
+            except:  # noqa: ROB01
+                return None
+        """, RobustnessRule(), name="repro/mod.py")
+    assert findings == []
+
+
 def test_rules_by_id_specs():
     assert [type(r) for r in rules_by_id("DET01")] == [DeterminismRule]
     assert [r.rule_id for r in rules_by_id("style")] == [
         "STY01", "STY02", "STY03"]
-    assert len(rules_by_id("all")) == 9
+    assert len(rules_by_id("all")) == 10
     with pytest.raises(ValueError):
         rules_by_id("NOPE99")
 

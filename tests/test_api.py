@@ -112,7 +112,8 @@ def test_deprecated_simresult_aliases_warn():
 # documented.  Growing the facade means updating this tuple and
 # docs/api.md in the same PR.
 EXPECTED_API = ("simulate", "sweep", "compare", "corun", "SweepResult",
-                "SimResult", "ComboResult", "ENGINES")
+                "SimResult", "ComboResult", "ENGINES",
+                "RetryPolicy", "JobFailure", "SweepReport")
 
 
 def test_api_surface_snapshot():

@@ -59,6 +59,16 @@ def test_resolve_workers(monkeypatch):
         resolve_workers(None)
 
 
+def test_resolve_workers_edge_cases(monkeypatch):
+    import os
+    cores = os.cpu_count() or 1
+    assert resolve_workers(-2) == cores       # negative means "all cores"
+    monkeypatch.setenv("REPRO_SWEEP_JOBS", "0")
+    assert resolve_workers(None) == cores     # env zero too
+    monkeypatch.setenv("REPRO_SWEEP_JOBS", "")
+    assert resolve_workers(None) == 1         # empty env -> default serial
+
+
 # ------------------------------------------------------------------- caching
 
 def test_cache_roundtrip_and_counters(tmp_path):
@@ -85,6 +95,74 @@ def test_resolve_cache_forms(tmp_path):
     c = SweepCache(tmp_path)
     assert resolve_cache(c) is c
     assert resolve_cache(str(tmp_path)).root == tmp_path
+    assert resolve_cache(tmp_path).root == tmp_path  # Path form
+
+
+def test_resolve_cache_true_uses_default_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "root"))
+    assert resolve_cache(True).root == tmp_path / "root"
+
+
+def test_cache_truncated_entry_is_quarantined(tmp_path):
+    cache = SweepCache(tmp_path)
+    key = stable_key({"x": 3})
+    cache.put(key, {"value": list(range(100))})
+    path = cache.path_for(key)
+    path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+    assert cache.get(key) is None and cache.misses == 1
+    assert not path.exists()  # quarantined, will re-simulate cleanly
+
+
+def test_cache_stale_class_entry_is_quarantined(tmp_path):
+    cache = SweepCache(tmp_path)
+    key = stable_key({"x": 4})
+    cache.put(key, "placeholder")
+    # A pickle referencing a class that no longer importable (renamed
+    # module, removed attribute) must read as a miss, not an error.
+    cache.path_for(key).write_bytes(b"cno_such_module\nGone\n.")
+    assert cache.get(key) is None
+    assert not cache.path_for(key).exists()
+
+
+def test_cache_quarantine_survives_unlink_race(tmp_path, monkeypatch):
+    from pathlib import Path
+    cache = SweepCache(tmp_path)
+    key = stable_key({"x": 5})
+    cache.put(key, "fine")
+    cache.path_for(key).write_bytes(b"not a pickle")
+    # Another process deleting (or holding) the entry first must not
+    # abort the sweep: the corrupt read is still just a miss.
+    monkeypatch.setattr(Path, "unlink",
+                        lambda self, **kw: (_ for _ in ()).throw(
+                            OSError("unlink race")))
+    assert cache.get(key) is None and cache.misses == 1
+
+
+def test_cache_put_failure_disables_cache(tmp_path, monkeypatch):
+    cache = SweepCache(tmp_path)
+
+    def no_space(*a, **kw):
+        raise OSError(28, "No space left on device")
+
+    monkeypatch.setattr("repro.experiments.cache.tempfile.mkstemp",
+                        no_space)
+    with pytest.warns(RuntimeWarning, match="disabling the cache"):
+        assert cache.put(stable_key({"x": 6}), "v") is False
+    assert cache.disabled
+    # Disabled means inert, not broken: further puts/gets are quiet no-ops.
+    assert cache.put(stable_key({"x": 7}), "v") is False
+    assert cache.get(stable_key({"x": 7})) is None
+
+
+def test_sweep_survives_cache_write_failure(tmp_path, monkeypatch):
+    monkeypatch.setattr(
+        "repro.experiments.cache.tempfile.mkstemp",
+        lambda *a, **kw: (_ for _ in ()).throw(OSError(28, "full")))
+    engine = SweepEngine(cache=SweepCache(tmp_path))
+    with pytest.warns(RuntimeWarning, match="disabling the cache"):
+        out = engine.run([job()])
+    assert len(out) == 1 and engine.stats.completed == 1
+    assert engine.cache.disabled and len(SweepCache(tmp_path)) == 0
 
 
 def test_stable_key_is_order_independent_and_sensitive():
