@@ -9,8 +9,9 @@ PASS/FAIL/SKIP summary:
   docs/analysis.md);
 * ``lint-aux`` — style-only lint over tests/benchmarks/scripts/examples;
 * ``docs`` — public-API docstring/docs coverage (scripts/check_docs.py);
-* ``bench`` — fastpath-vs-reference smoke timing + bit-exactness
-  (scripts/bench_fastpath.py --smoke; refreshes BENCH_fastpath.json);
+* ``bench`` — engine bit-exactness smoke plus speedup regression gate
+  (scripts/bench_fastpath.py --smoke --check; read-only — the committed
+  BENCH_fastpath.json is only rewritten by an explicit ``--update``);
 * ``chaos`` — resilience smoke: a tiny sweep under injected crashes,
   transient faults, and a torn cache write must recover and produce a
   grid bit-identical to the fault-free run (``repro sweep --chaos``,
@@ -46,7 +47,8 @@ GATES: dict[str, list[str]] = {
     "lint-aux": [sys.executable, "-m", "repro", "lint", "--rules", "style",
                  "tests", "benchmarks", "scripts", "examples"],
     "docs": [sys.executable, "scripts/check_docs.py"],
-    "bench": [sys.executable, "scripts/bench_fastpath.py", "--smoke"],
+    "bench": [sys.executable, "scripts/bench_fastpath.py", "--smoke",
+              "--check", "--check-tolerance", "0.5"],
     "chaos": [sys.executable, "-m", "repro", "sweep", "--chaos",
               "--mixes", "C1", "--designs", "waypart",
               "--scale", "0.02", "--quiet"],

@@ -3,8 +3,9 @@
 This module is the supported entry point for programmatic use.  Every
 function takes keyword-only arguments, accepts mixes by Table II name or
 as built :class:`~repro.traces.mixes.WorkloadMix` objects, and defaults
-to the vectorized fast-path engine (bit-exact with the reference event
-loop — see docs/api.md).  The older free functions in
+to the vectorized fast-path engine; ``engine="batch"`` selects the
+fused-interpreter batch engine instead (both bit-exact with the
+reference event loop — see docs/api.md).  The older free functions in
 ``repro.experiments`` (``run_mix``, ``compare_designs``, ...) remain as
 deprecated shims that delegate here.
 
@@ -59,9 +60,11 @@ def simulate(*, mix: str | WorkloadMix, design: str = "hydrogen",
     ``mix`` is a Table II name (built with ``scale``/``seed``; ``scale``
     ``None`` defers to ``$REPRO_SCALE``) or an already-built
     :class:`~repro.traces.mixes.WorkloadMix`.  ``design`` is a registry
-    name or a policy instance.  ``engine`` selects the simulation core
-    (``"fast"``, the default, is bit-exact with ``"reference"``;
-    ``None`` defers to ``$REPRO_ENGINE``).  Extra keywords — e.g.
+    name or a policy instance.  ``engine`` selects the simulation core:
+    ``"fast"`` (the default) and ``"batch"`` (the fused-interpreter
+    batch engine of :mod:`repro.engine.batch`; a single simulation runs
+    as a one-cell batch) are both bit-exact with ``"reference"``;
+    ``None`` defers to ``$REPRO_ENGINE``.  Extra keywords — e.g.
     ``telemetry=`` — pass through to the simulator.
     """
     resolve_engine(engine)  # fail fast on typos, before building the mix
@@ -122,9 +125,12 @@ def sweep(*, mixes, designs: tuple[str, ...] = FIG5_DESIGNS,
     Mixes are names or built mixes; the whole grid (shared baselines
     included) goes through one :class:`~repro.experiments.sweep.
     SweepEngine` batch, so ``jobs`` fans cells out across processes and
-    ``cache`` recalls previously simulated cells from disk.  ``trace_dir``
-    streams one telemetry JSONL per simulated cell.  Returns a
-    :class:`SweepResult`.
+    ``cache`` recalls previously simulated cells from disk.  With
+    ``engine="batch"`` the engine hands whole shards of the grid to one
+    lock-step :class:`~repro.engine.batch.BatchSimulation` per worker
+    instead of dispatching cells one by one (bit-exact either way;
+    cached cells are shared across engines).  ``trace_dir`` streams one
+    telemetry JSONL per simulated cell.  Returns a :class:`SweepResult`.
 
     Resilience (docs/robustness.md): ``retry`` re-runs failed cells
     (an int retry count or a :class:`RetryPolicy`), ``job_timeout``

@@ -8,9 +8,12 @@ of that loop — every observable event fires with the same ``(time, seq)``
 heap key, so same-time tiebreaks, float accumulation order and policy
 RNG draws are identical — while removing the per-access recomputation:
 
-* **Chunked trace decode** — each agent precomputes ``addr // block``
-  and ``block % num_sets`` for its whole trace in fixed-size NumPy
-  chunks (:data:`CHUNK` accesses at a time) before the run starts.
+* **Shared SoA trace decode** — ``addr // block`` and
+  ``block % num_sets`` are precomputed for the whole trace in one
+  vectorized pass and memoized per (trace, geometry) on the trace
+  itself (:meth:`repro.traces.base.Trace.columns`), so a sweep
+  replaying one mix under many designs decodes each trace once, not
+  once per cell.
 * **Lazy channel releases** — the reference schedules a bus-release
   event for *every* transfer; most find an empty queue and are pure
   no-ops.  The fast channel reserves the release's sequence number
@@ -70,10 +73,6 @@ from repro.hybrid.policies.profess import P_LEVELS, ProfessPolicy
 from repro.hybrid.policies.waypart import WayPartPolicy
 from repro.mem.device import MemoryDevice
 from repro.traces.base import Trace
-
-#: Accesses decoded per NumPy chunk in the agents' trace precomputation.
-CHUNK = 1 << 16
-
 
 class FastEventQueue(EventQueue):
     """Event queue that exposes the sequence number of the firing event.
@@ -375,13 +374,16 @@ class _FastDevice(MemoryDevice):
 
 
 class _FastAgent(TraceAgent):
-    """Trace agent with chunked-NumPy block/set precomputation.
+    """Trace agent replaying shared structure-of-arrays trace columns.
 
-    The per-reference issue loop submits straight into the fast
-    controller (no per-request ``functools.partial``) and issue
-    timestamps live in a flat ring (the outstanding window is at most
-    ``mlp`` wide, so ``seq % len`` slots never collide); blocking-model
-    arithmetic is identical to :class:`TraceAgent`.
+    Block/set decomposition comes from the memoized
+    :meth:`~repro.traces.base.Trace.columns` SoA (one vectorized decode
+    per trace x geometry, shared by every cell of a sweep).  The
+    per-reference issue loop submits straight into the fast controller
+    (no per-request ``functools.partial``) and issue timestamps live in
+    a flat ring (the outstanding window is at most ``mlp`` wide, so
+    ``seq % len`` slots never collide); blocking-model arithmetic is
+    identical to :class:`TraceAgent`.
     """
 
     __slots__ = ("ctrl", "_blocks", "_sets", "_issue_arr", "_ilen")
@@ -389,21 +391,18 @@ class _FastAgent(TraceAgent):
     def __init__(self, name: str, trace: Trace, mlp: int, eq: EventQueue,
                  ctrl: "FastHybridController", warmup_frac: float = 0.0,
                  instr_scale: float = 1.0) -> None:
+        self.ctrl = ctrl
         super().__init__(name, trace, mlp, eq, ctrl.access, warmup_frac,
                          instr_scale=instr_scale)
-        self.ctrl = ctrl
-        block, nsets = ctrl._block, ctrl._nsets
-        blocks: list[int] = []
-        sets: list[int] = []
-        addrs = trace.addrs
-        for lo in range(0, len(trace), CHUNK):
-            b = addrs[lo:lo + CHUNK] // block
-            blocks.extend(b.tolist())
-            sets.extend((b % nsets).tolist())
-        self._blocks = blocks
-        self._sets = sets
+        cols = trace.columns(ctrl._block, ctrl._nsets)
+        self._blocks = cols.block_list
+        self._sets = cols.set_list
         self._ilen = max(self._n, mlp)
         self._issue_arr = [0.0] * self._ilen
+
+    def _trace_lists(self, trace: Trace) -> tuple[list, list, list]:
+        cols = trace.columns(self.ctrl._block, self.ctrl._nsets)
+        return cols.addr_list, cols.write_list, cols.gap_list
 
     def _pump(self) -> None:
         eq = self.eq

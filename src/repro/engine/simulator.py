@@ -326,7 +326,7 @@ class Simulation:
 
 
 #: Recognized engine names (``resolve_engine``).
-ENGINES = ("reference", "fast")
+ENGINES = ("reference", "fast", "batch")
 
 
 def resolve_engine(engine: str | None) -> str:
@@ -344,11 +344,17 @@ def simulate(cfg: SystemConfig, policy: PartitionPolicy, mix: WorkloadMix,
     """Convenience one-shot runner.
 
     ``engine`` selects the simulation core: ``"reference"`` (the scalar
-    event loop) or ``"fast"`` (the vectorized fast path, bit-exact with
-    the reference — see docs/api.md).  ``None`` defers to the
+    event loop), ``"fast"`` (the vectorized fast path) or ``"batch"``
+    (the fused-interpreter batch engine; on a single simulation it runs
+    as a one-cell batch) — both alternatives bit-exact with the
+    reference (see docs/api.md).  ``None`` defers to the
     ``REPRO_ENGINE`` environment variable, defaulting to ``"reference"``.
     """
-    if resolve_engine(engine) == "fast":
+    eng = resolve_engine(engine)
+    if eng == "fast":
         from repro.engine.fastpath import FastSimulation
         return FastSimulation(cfg, policy, mix, **kw).run()
+    if eng == "batch":
+        from repro.engine.batch import simulate_batch
+        return simulate_batch(cfg, policy, mix, **kw)
     return Simulation(cfg, policy, mix, **kw).run()

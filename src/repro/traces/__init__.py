@@ -1,8 +1,10 @@
 """Synthetic workload substrate: SPEC/Rodinia/BERT-like trace generators,
 the Table II mix builder, persistence, and custom mix specs."""
 
-from repro.traces.base import Trace, TraceSpec, characterize, generate_trace
+from repro.traces.base import (Trace, TraceColumns, TraceSpec, characterize,
+                               generate_trace)
 from repro.traces.mixes import ALL_MIXES, MIXES, WorkloadMix, build_mix
 
-__all__ = ["Trace", "TraceSpec", "characterize", "generate_trace",
-           "ALL_MIXES", "MIXES", "WorkloadMix", "build_mix"]
+__all__ = ["Trace", "TraceColumns", "TraceSpec", "characterize",
+           "generate_trace", "ALL_MIXES", "MIXES", "WorkloadMix",
+           "build_mix"]

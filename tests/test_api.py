@@ -51,7 +51,18 @@ def test_fast_and_reference_parity_through_facade():
     mix = tiny_mix()
     fast = api.simulate(mix=mix, design="hydrogen", engine="fast")
     ref = api.simulate(mix=mix, design="hydrogen", engine="reference")
+    batch = api.simulate(mix=mix, design="hydrogen", engine="batch")
     assert fast == ref  # full dataclass equality: bit-exact replay
+    assert batch == ref
+
+
+def test_sweep_engine_batch_matches_fast():
+    kw = dict(mixes=["C1", "C2"], designs=("waypart", "hydrogen"),
+              scale=0.02, jobs=1)
+    fast = api.sweep(engine="fast", **kw)
+    batch = api.sweep(engine="batch", **kw)
+    assert batch.grid == fast.grid  # whole-shard lock-step, bit-exact
+    assert batch.ok and fast.ok
 
 
 def test_sweep_returns_typed_result():

@@ -1,18 +1,26 @@
-"""Golden bit-exact equivalence: fast engine vs reference engine.
+"""Golden bit-exact equivalence: fast and batch engines vs reference.
 
 The fast path's contract is *bit-exact replay* — not approximate
 agreement — so every comparison here is full ``SimResult`` dataclass
 equality (cycles, IPCs, the whole stats dict, energy, per-agent metrics,
 policy end state, epoch log).  The grid covers the inlined policy fast
 paths (baseline/hashcache/profess/waypart/hydrogen) plus a custom policy
-subclass that forces every delegate fallback.
+subclass that forces every delegate fallback, and the same contract is
+enforced for the lock-step batch engine: mixed cell shapes sharing one
+:class:`~repro.engine.batch.BatchSimulation`, warmup-boundary variants,
+single-cell batch == fastpath, and the numba-absent kernel fallback.
 """
 
 from __future__ import annotations
 
+import importlib
+import sys
+import types
+
 import pytest
 
 from repro.config import default_system
+from repro.engine.batch import BatchCell, BatchSimulation
 from repro.engine.fastpath import FastSimulation
 from repro.engine.simulator import Simulation, simulate
 from repro.experiments.designs import design_config, make_policy
@@ -28,30 +36,36 @@ DESIGNS = ("baseline", "hashcache", "profess", "waypart",
            "hydrogen-dp", "hydrogen")
 
 
-def run_both(design, mix_name="C1", seed=7, **mix_kw):
+def run_engines(design, mix_name="C1", seed=7, sim_kw=None, **mix_kw):
+    """(reference, fast, batch) results of one cell, same inputs."""
     mix = build_mix(mix_name, seed=seed, **{**TINY, **mix_kw})
     cfg = design_config(design, default_system())
-    ref = Simulation(cfg, make_policy(design), mix).run()
-    fast = FastSimulation(cfg, make_policy(design), mix).run()
-    return ref, fast
+    kw = sim_kw or {}
+    ref = Simulation(cfg, make_policy(design), mix, **kw).run()
+    fast = FastSimulation(cfg, make_policy(design), mix, **kw).run()
+    batch = BatchCell(cfg, make_policy(design), mix, **kw).run()
+    return ref, fast, batch
 
 
 @pytest.mark.parametrize("design", DESIGNS)
 def test_bit_exact_per_design(design):
-    ref, fast = run_both(design)
+    ref, fast, batch = run_engines(design)
     assert fast == ref
+    assert batch == ref
 
 
 @pytest.mark.parametrize("mix_name", ["C2", "C5", "C7", "C10"])
 def test_bit_exact_across_mixes(mix_name):
-    ref, fast = run_both("hydrogen", mix_name=mix_name)
+    ref, fast, batch = run_engines("hydrogen", mix_name=mix_name)
     assert fast == ref
+    assert batch == ref
 
 
 @pytest.mark.parametrize("seed", [3, 11])
 def test_bit_exact_across_seeds(seed):
-    ref, fast = run_both("profess", seed=seed)
+    ref, fast, batch = run_engines("profess", seed=seed)
     assert fast == ref
+    assert batch == ref
 
 
 class ChattyHAShCache(HAShCachePolicy):
@@ -90,3 +104,130 @@ def test_engine_kwarg_selects_fastpath(monkeypatch):
     monkeypatch.setenv("REPRO_ENGINE", "reference")
     via_ref = simulate(cfg, make_policy("hydrogen"), mix)
     assert via_kw == via_env == via_ref
+
+
+# -- batch engine ----------------------------------------------------------
+
+#: Heterogeneous cells for one lock-step batch: different designs,
+#: mixes, trace footprints, seeds and warmup boundaries, so no two cells
+#: agree on shape or on where their measurement windows open.
+MIXED_CELLS = (
+    ("hashcache", "C1", 7, dict(cpu_refs=900, gpu_refs=4000), {}),
+    ("hydrogen", "C5", 3, dict(cpu_refs=1500, gpu_refs=7000), {}),
+    ("profess", "C2", 11, dict(cpu_refs=400, gpu_refs=9000),
+     dict(warmup_cpu=0.0, warmup_gpu=0.5)),
+    ("waypart", "C7", 5, dict(cpu_refs=2000, gpu_refs=2000),
+     dict(warmup_cpu=0.5, warmup_gpu=0.1)),
+)
+
+
+def test_batch_mixed_cells_one_lockstep_batch():
+    cells, expect = [], []
+    for design, mix_name, seed, shape, sim_kw in MIXED_CELLS:
+        mix = build_mix(mix_name, seed=seed, **shape)
+        cfg = design_config(design, default_system())
+        expect.append(
+            Simulation(cfg, make_policy(design), mix, **sim_kw).run())
+        cells.append(BatchCell(cfg, make_policy(design), mix, **sim_kw))
+    assert BatchSimulation(cells).run() == expect
+
+
+@pytest.mark.parametrize("warmups", [
+    dict(warmup_cpu=0.0, warmup_gpu=0.0),
+    dict(warmup_cpu=0.5, warmup_gpu=0.1),
+])
+def test_batch_warmup_boundaries(warmups):
+    ref, fast, batch = run_engines("hydrogen", sim_kw=warmups)
+    assert fast == ref
+    assert batch == ref
+
+
+def test_batch_single_cell_equals_fastpath():
+    mix = build_mix("C1", seed=7, **TINY)
+    cfg = design_config("hydrogen-dp", default_system())
+    fast = FastSimulation(cfg, make_policy("hydrogen-dp"), mix).run()
+    solo = BatchCell(cfg, make_policy("hydrogen-dp"), mix).run()
+    via_engine = simulate(cfg, make_policy("hydrogen-dp"), mix,
+                          engine="batch")
+    assert solo == fast
+    assert via_engine == fast
+
+
+def test_batch_custom_policy_delegate_paths():
+    mix = build_mix("C1", seed=7, **TINY)
+    cfg = design_config("hashcache", default_system())
+    ref = Simulation(cfg, ChattyHAShCache(), mix).run()
+    batch = BatchCell(cfg, ChattyHAShCache(), mix).run()
+    assert batch == ref
+
+
+def test_batch_rejects_empty():
+    with pytest.raises(ValueError, match="at least one cell"):
+        BatchSimulation([])
+
+
+def _reload_engine_modules():
+    """Re-run the import-time kernel selection in _kernels and batch."""
+    import repro.engine._kernels as kernels
+    import repro.engine.batch as batch
+    importlib.reload(kernels)
+    importlib.reload(batch)
+    return kernels, batch
+
+
+def _restore_numba(had):
+    if had is None:
+        sys.modules.pop("numba", None)
+    else:
+        sys.modules["numba"] = had
+    _reload_engine_modules()
+
+
+def test_numba_absent_selects_pure_fallback():
+    had = sys.modules.get("numba")
+    # ``None`` in sys.modules makes ``import numba`` raise ImportError
+    # even where numba is installed.
+    sys.modules["numba"] = None
+    try:
+        kernels, batch = _reload_engine_modules()
+        assert kernels.HAVE_NUMBA is False
+        assert kernels.bank_service is kernels._bank_service_py
+        assert batch._BANK_SERVICE is None
+        mix = build_mix("C1", seed=7, **TINY)
+        cfg = design_config("hydrogen", default_system())
+        ref = Simulation(cfg, make_policy("hydrogen"), mix).run()
+        cell = batch.BatchCell(cfg, make_policy("hydrogen"), mix)
+        assert cell.run() == ref
+    finally:
+        _restore_numba(had)
+
+
+def test_numba_present_selects_compiled_kernel():
+    had = sys.modules.get("numba")
+    fake = types.ModuleType("numba")
+
+    def njit(*args, **kwargs):
+        if args and callable(args[0]):
+            return args[0]
+
+        def deco(fn):
+            return fn
+        return deco
+
+    fake.njit = njit
+    sys.modules["numba"] = fake
+    try:
+        kernels, batch = _reload_engine_modules()
+        assert kernels.HAVE_NUMBA is True
+        assert batch._BANK_SERVICE is kernels.bank_service
+        mix = build_mix("C1", seed=7, **TINY)
+        cfg = design_config("hydrogen", default_system())
+        ref = Simulation(cfg, make_policy("hydrogen"), mix).run()
+        cell = batch.BatchCell(cfg, make_policy("hydrogen"), mix)
+        # the kernelized channels keep their int64 open-row tables
+        assert all(ch._rows_arr is not None
+                   for ch in (*cell.ctrl.fast.channels,
+                              *cell.ctrl.slow.channels))
+        assert cell.run() == ref
+    finally:
+        _restore_numba(had)
