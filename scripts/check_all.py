@@ -16,6 +16,9 @@ PASS/FAIL/SKIP summary:
   transient faults, and a torn cache write must recover and produce a
   grid bit-identical to the fault-free run (``repro sweep --chaos``,
   docs/robustness.md);
+* ``kvcache`` — LLM workload-family smoke: the KV-cache mix compares
+  the ported placement baselines against Hydrogen on the lock-step
+  batch engine (docs/workloads.md);
 * ``ruff`` / ``mypy`` — external style and type gates, configured in
   pyproject.toml.  They are optional dependencies (the ``lint`` extra);
   when not installed the gate reports SKIP rather than failing, and the
@@ -52,6 +55,10 @@ GATES: dict[str, list[str]] = {
     "chaos": [sys.executable, "-m", "repro", "sweep", "--chaos",
               "--mixes", "C1", "--designs", "waypart",
               "--scale", "0.02", "--quiet"],
+    "kvcache": [sys.executable, "-m", "repro", "compare",
+                "--mix", "kvcache",
+                "--designs", "hydrogen,kv-windowpin,kv-tokenlru",
+                "--engine", "batch", "--scale", "0.05", "--no-cache"],
     "ruff": [sys.executable, "-m", "ruff", "check",
              "src", "tests", "benchmarks", "scripts", "examples"],
     "mypy": [sys.executable, "-m", "mypy"],

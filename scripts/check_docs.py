@@ -4,19 +4,29 @@
 Walks the public surface — ``repro.__all__`` and
 ``repro.experiments.__all__`` — and fails (non-zero exit) if any public
 class/function lacks a docstring or is never mentioned in
-``docs/api.md``.  Run directly (``python scripts/check_docs.py``) or via
-the tier-1 suite (``tests/test_check_docs.py``), so documentation rot
-breaks the build instead of accumulating.
+``docs/api.md``.  Also executes every ```python snippet of the guide
+pages listed in ``EXECUTED_DOCS`` (currently ``docs/workloads.md``;
+``docs/api.md`` snippets run via ``tests/test_doc_snippets.py``), so a
+guide whose examples rot fails the build.  Run directly
+(``python scripts/check_docs.py``) or via the tier-1 suite
+(``tests/test_check_docs.py``).
 """
 
 from __future__ import annotations
 
 import inspect
+import re
 import sys
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parents[1]
 API_DOC = REPO / "docs" / "api.md"
+
+#: Guide pages whose ```python blocks must execute (shared namespace
+#: per page, top to bottom — pages may build on their own snippets).
+EXECUTED_DOCS = (REPO / "docs" / "workloads.md",)
+
+_SNIPPET = re.compile(r"```python\n(.*?)```", re.DOTALL)
 
 #: Public modules whose ``__all__`` defines the documented surface.
 PUBLIC_MODULES = ("repro", "repro.api", "repro.experiments",
@@ -55,15 +65,41 @@ def check(symbols=None, doc_text: str | None = None) -> list[str]:
     return problems
 
 
+def run_snippets(paths=EXECUTED_DOCS) -> list[str]:
+    """Execute every ```python block of each page; return failures.
+
+    Blocks share one namespace per page, so later snippets may use names
+    an earlier one defined; the first failure on a page stops that page
+    (the rest would cascade).
+    """
+    sys.path.insert(0, str(REPO / "src"))
+    problems = []
+    for path in paths:
+        if not path.exists():
+            problems.append(f"missing guide page: {path}")
+            continue
+        ns: dict = {}
+        rel = path.relative_to(REPO) if path.is_relative_to(REPO) else path
+        for i, code in enumerate(_SNIPPET.findall(path.read_text())):
+            try:
+                exec(compile(code, f"{rel}:snippet{i}", "exec"), ns)
+            except Exception as exc:
+                problems.append(f"{rel} snippet {i} failed: {exc!r}")
+                break
+    return problems
+
+
 def main(argv=None) -> int:  # noqa: ARG001 - argv kept for CLI symmetry
-    problems = check()
+    problems = check() + run_snippets()
     for p in problems:
         print(f"check_docs: {p}", file=sys.stderr)
     if problems:
         print(f"check_docs: {len(problems)} problem(s)", file=sys.stderr)
         return 1
     n = len(public_symbols())
-    print(f"check_docs: {n} public symbols documented")
+    n_snip = sum(len(_SNIPPET.findall(p.read_text())) for p in EXECUTED_DOCS)
+    print(f"check_docs: {n} public symbols documented, "
+          f"{n_snip} guide snippets executed")
     return 0
 
 

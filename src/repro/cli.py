@@ -46,6 +46,7 @@ from repro.telemetry import EpochRecorder, JsonlSink, TeeSink
 from repro.traces.cpu import CPU_SPECS
 from repro.traces.gpu import GPU_SPECS
 from repro.traces.io import build_custom_mix, save_mix
+from repro.traces.llm import LLM_MIX_NAMES, LLM_SPECS
 from repro.traces.mixes import ALL_MIXES, build_mix
 
 
@@ -171,9 +172,10 @@ def cmd_sweep(args) -> int:
 
     mixes = args.mixes.split(",") if args.mixes else list(ALL_MIXES)
     for m in mixes:
-        if m not in ALL_MIXES:
+        if m not in ALL_MIXES and m not in LLM_MIX_NAMES:
             raise SystemExit(f"unknown mix {m!r}; sweep takes Table II names "
-                             f"({', '.join(ALL_MIXES)}); use 'run' for "
+                             f"({', '.join(ALL_MIXES)}) or LLM mixes "
+                             f"({', '.join(LLM_MIX_NAMES)}); use 'run' for "
                              f"custom 'cpu1-cpu2:gpu' specs")
     designs = tuple(args.designs.split(",")) if args.designs else FIG5_DESIGNS
     cfg = _load_cfg(args)
@@ -351,6 +353,8 @@ FIG_DRIVERS = {
                                                    **_fig_sweep_kwargs(a)),
     "fig11": lambda a: figures.fig11_geometry(scale=a.scale, seed=a.seed,
                                               **_fig_sweep_kwargs(a)),
+    "kvcache": lambda a: figures.kvcache_grid(scale=a.scale, seed=a.seed,
+                                              **_fig_sweep_kwargs(a)),
 }
 
 
@@ -437,8 +441,11 @@ def cmd_designs(args) -> int:
     print("designs: ", ", ".join(ALL_DESIGNS))
     print("mixes:   ", ", ".join(ALL_MIXES),
           " (or custom 'cpu1-cpu2:gpu' specs)")
+    print("llm mixes:", ", ".join(LLM_MIX_NAMES),
+          " (docs/workloads.md)")
     print("cpu workloads:", ", ".join(sorted(CPU_SPECS)))
     print("gpu workloads:", ", ".join(sorted(GPU_SPECS)))
+    print("llm workloads:", ", ".join(sorted(LLM_SPECS)))
     return 0
 
 
@@ -459,7 +466,9 @@ def make_parser() -> argparse.ArgumentParser:
                         help="override a config field, e.g. hybrid.assoc=8")
         if mix:
             sp.add_argument("--mix", default="C1",
-                            help="C1..C12 or 'gcc-mcf:backprop'")
+                            help="C1..C12, an LLM mix (kvcache, "
+                                 "kvcache-prefill, kvcache-batch, "
+                                 "kvcache-long), or 'gcc-mcf:backprop'")
 
     def engine_opt(sp):
         sp.add_argument("--engine", choices=list(ENGINES), default=None,
@@ -537,8 +546,8 @@ def make_parser() -> argparse.ArgumentParser:
         "sweep", help="run a (mixes x designs) grid via the sweep engine")
     common(sp, mix=False)
     engine_opt(sp)
-    sp.add_argument("--mixes", help="comma-separated Table II mix names "
-                                    "(default: all 12)")
+    sp.add_argument("--mixes", help="comma-separated Table II or LLM mix "
+                                    "names (default: all 12 Table II)")
     sp.add_argument("--designs", help="comma-separated design names "
                                       "(default: the Fig. 5 set)")
     sweep_opts(sp)
@@ -563,7 +572,8 @@ def make_parser() -> argparse.ArgumentParser:
     sp = sub.add_parser("fig", help="regenerate a paper figure/table")
     common(sp, mix=False)
     sp.add_argument("name", help="table2, fig2a, fig2bcd, fig5, fig5-hbm3, "
-                                 "fig6, fig7, fig8, fig9, fig10, fig11")
+                                 "fig6, fig7, fig8, fig9, fig10, fig11, "
+                                 "kvcache")
     sweep_opts(sp)
     sp.set_defaults(fn=cmd_fig)
 

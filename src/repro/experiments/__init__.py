@@ -10,7 +10,8 @@ markers below exempt this re-export hub from the API01 lint rule).
 """
 
 from repro.experiments.cache import SweepCache
-from repro.experiments.designs import ALL_DESIGNS, FIG5_DESIGNS, make_policy
+from repro.experiments.designs import (ALL_DESIGNS, FIG5_DESIGNS,
+                                       KVCACHE_DESIGNS, make_policy)
 from repro.experiments.resilience import (JobFailure, JobTimeout,
                                           RetryPolicy, SweepReport)
 from repro.experiments.runner import (compare_designs,  # noqa: API01
@@ -19,7 +20,8 @@ from repro.experiments.runner import (compare_designs,  # noqa: API01
 from repro.experiments.sweep import (MixSpec, SweepEngine,  # noqa: API01
                                      SweepJob, sweep_compare, sweep_corun)
 
-__all__ = ["ALL_DESIGNS", "FIG5_DESIGNS", "make_policy", "compare_designs",
+__all__ = ["ALL_DESIGNS", "FIG5_DESIGNS", "KVCACHE_DESIGNS", "make_policy",
+           "compare_designs",
            "corun_slowdowns", "run_mix", "weighted_speedup", "MixSpec",
            "SweepCache", "SweepEngine", "SweepJob", "sweep_compare",
            "sweep_corun", "RetryPolicy", "JobFailure", "JobTimeout",

@@ -15,6 +15,8 @@ from repro.config import SystemConfig
 from repro.core.hydrogen import HydrogenPolicy
 from repro.hybrid.policies.base import PartitionPolicy
 from repro.hybrid.policies.hashcache import HAShCachePolicy
+from repro.hybrid.policies.llm import (LayerSplitPolicy, TokenLRUPolicy,
+                                       WindowPinPolicy)
 from repro.hybrid.policies.nopart import NoPartitionPolicy
 from repro.hybrid.policies.profess import ProfessPolicy
 from repro.hybrid.policies.setpart import SetPartitionPolicy
@@ -35,6 +37,11 @@ _REGISTRY: dict[str, PolicyFactory] = {
     "hydrogen-per-channel-tokens": lambda: _named(
         HydrogenPolicy.full(per_channel_tokens=True),
         "hydrogen-per-channel-tokens"),
+    # KV-cache placement baselines (docs/workloads.md; ported from the
+    # Data_Placement exemplar, see repro.hybrid.policies.llm).
+    "kv-windowpin": WindowPinPolicy,
+    "kv-layersplit": LayerSplitPolicy,
+    "kv-tokenlru": TokenLRUPolicy,
 }
 
 
@@ -45,6 +52,11 @@ def _named(policy: PartitionPolicy, name: str) -> PartitionPolicy:
 #: Designs shown in Fig. 5, in plot order.
 FIG5_DESIGNS = ("hashcache", "profess", "waypart",
                 "hydrogen-dp", "hydrogen-dp-token", "hydrogen")
+
+#: KV-cache comparison set: Hydrogen against the ported placement
+#: baselines, all under identical faucet/controller mechanics.
+KVCACHE_DESIGNS = ("kv-windowpin", "kv-layersplit", "kv-tokenlru",
+                   "hydrogen")
 
 ALL_DESIGNS = tuple(_REGISTRY)
 

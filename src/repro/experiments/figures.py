@@ -13,10 +13,10 @@ from __future__ import annotations
 
 from dataclasses import replace
 
-from repro.config import MB, SystemConfig, default_system, hbm3
+from repro.config import MB, SystemConfig, default_system, hbm2e, hbm3
 from repro.core.hydrogen import HydrogenPolicy
 from repro.engine.simulator import simulate
-from repro.experiments.designs import FIG5_DESIGNS
+from repro.experiments.designs import FIG5_DESIGNS, KVCACHE_DESIGNS
 from repro.experiments.runner import (ComboResult, _compare_designs,
                                       _run_mix, geomean, weighted_speedup)
 from repro.experiments.sweep import MixSpec, _sweep_compare, _sweep_corun
@@ -321,4 +321,33 @@ def fig11_geometry(mixes=("C1", "C5"), *, scale: float = 1.0, seed: int = 7,
                          **{d: geomean([per[d][n].weighted_speedup
                                         for n in mixes])
                             for d in ("hashcache", "profess", "hydrogen")}})
+    return rows
+
+
+def kvcache_grid(mixes=("kvcache", "kvcache-batch", "kvcache-long"), *,
+                 scale: float = 1.0, seed: int = 7,
+                 capacities_mb=(2, 4, 8), designs=KVCACHE_DESIGNS,
+                 jobs: int | None = None, cache=None, progress=None
+                 ) -> list[dict]:
+    """KV-cache serving grid: serving shape x HBM capacity x design.
+
+    The mixes vary sequence length and batch size (``kvcache`` = the
+    balanced decode stream, ``kvcache-batch`` = four interleaved
+    requests, ``kvcache-long`` = double context budget), and each is run
+    at several fast-tier capacities — the token-placement analogue of
+    the paper's Fig. 11 geometry sweep.  Each row reports per-design
+    weighted speedups normalized to the non-partitioned baseline of the
+    same capacity.
+    """
+    rows = []
+    base_cfg = default_system()
+    specs = [MixSpec(n, scale=scale, seed=seed) for n in mixes]
+    for cap in capacities_mb:
+        cfg = base_cfg.with_fast(hbm2e(capacity=cap * MB))
+        per = _sweep_compare(specs, tuple(designs), cfg, workers=jobs,
+                             cache=cache, progress=progress)
+        for n in mixes:
+            rows.append({"capacity_mb": cap, "mix": n,
+                         **{d: per[d][n].weighted_speedup
+                            for d in designs}})
     return rows

@@ -3,14 +3,19 @@
 ``PartitionPolicy`` is the interface; the paper's comparison designs are
 ``NoPartitionPolicy`` (baseline), ``WayPartPolicy``, ``HAShCachePolicy``,
 ``ProfessPolicy`` and ``SetPartitionPolicy`` (the §IV-F variant);
-Hydrogen itself lives in :mod:`repro.core.hydrogen`."""
+Hydrogen itself lives in :mod:`repro.core.hydrogen`.  The KV-cache
+placement baselines (``WindowPinPolicy``, ``LayerSplitPolicy``,
+``TokenLRUPolicy``) live in :mod:`repro.hybrid.policies.llm`."""
 
 from repro.hybrid.policies.base import PartitionPolicy
 from repro.hybrid.policies.hashcache import HAShCachePolicy
+from repro.hybrid.policies.llm import (LayerSplitPolicy, TokenLRUPolicy,
+                                       WindowPinPolicy)
 from repro.hybrid.policies.nopart import NoPartitionPolicy
 from repro.hybrid.policies.profess import ProfessPolicy
 from repro.hybrid.policies.setpart import SetPartitionPolicy
 from repro.hybrid.policies.waypart import WayPartPolicy
 
 __all__ = ["PartitionPolicy", "NoPartitionPolicy", "WayPartPolicy",
-           "HAShCachePolicy", "ProfessPolicy", "SetPartitionPolicy"]
+           "HAShCachePolicy", "ProfessPolicy", "SetPartitionPolicy",
+           "WindowPinPolicy", "LayerSplitPolicy", "TokenLRUPolicy"]

@@ -69,9 +69,21 @@ def build_mix(name: str, *, cpu_refs: int = 15_000, gpu_refs: int = 150_000,
     quality); ``footprint_scale`` separately scales working-set sizes (used
     by capacity-pressure sweeps).  Keeping the two independent preserves the
     memory-pressure ratios the paper's results depend on.
+
+    LLM mix names (``kvcache``, ...) dispatch to
+    :func:`repro.traces.llm.build_llm_mix` with the same knobs, so every
+    name-based entry point (api, CLI, sweep specs, cache keys) accepts
+    both families uniformly.
     """
     if name not in MIXES:
-        raise KeyError(f"unknown mix {name!r}; known: {sorted(MIXES)}")
+        from repro.traces.llm import LLM_MIXES, build_llm_mix
+        if name in LLM_MIXES:
+            return build_llm_mix(name, cpu_refs=cpu_refs, gpu_refs=gpu_refs,
+                                 seed=seed, scale=scale,
+                                 footprint_scale=footprint_scale,
+                                 cpu_copies=cpu_copies)
+        raise KeyError(f"unknown mix {name!r}; known: {sorted(MIXES)} "
+                       f"+ LLM mixes {sorted(LLM_MIXES)}")
     cpu_names, gpu_name = MIXES[name]
 
     cpu_traces: list[Trace] = []

@@ -19,6 +19,19 @@ def test_public_api_fully_documented(capsys):
     assert "documented" in capsys.readouterr().out
 
 
+def test_guide_snippets_execute(tmp_path):
+    mod = load_check_docs()
+    good = tmp_path / "good.md"
+    good.write_text("intro\n```python\nx = 1\n```\nmore\n"
+                    "```python\nassert x == 1  # shared namespace\n```\n")
+    assert mod.run_snippets([good]) == []
+    bad = tmp_path / "bad.md"
+    bad.write_text("```python\nraise RuntimeError('rotten example')\n```\n")
+    problems = mod.run_snippets([bad, tmp_path / "absent.md"])
+    assert any("rotten example" in p for p in problems)
+    assert any("missing guide page" in p for p in problems)
+
+
 def test_check_detects_missing_docstring_and_doc_entry():
     mod = load_check_docs()
 

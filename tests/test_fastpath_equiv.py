@@ -61,6 +61,26 @@ def test_bit_exact_across_mixes(mix_name):
     assert batch == ref
 
 
+#: The ported KV-cache placement baselines (repro.hybrid.policies.llm):
+#: every one overrides a hot hook, so the fast/batch engines must take
+#: their delegate-fallback paths and still replay bit-exactly.
+KV_DESIGNS = ("kv-windowpin", "kv-layersplit", "kv-tokenlru")
+
+
+@pytest.mark.parametrize("design", KV_DESIGNS + ("hydrogen", "baseline"))
+def test_bit_exact_kvcache_mix(design):
+    ref, fast, batch = run_engines(design, mix_name="kvcache")
+    assert fast == ref
+    assert batch == ref
+
+
+def test_bit_exact_kvcache_variants():
+    for mix_name in ("kvcache-prefill", "kvcache-batch"):
+        ref, fast, batch = run_engines("kv-windowpin", mix_name=mix_name)
+        assert fast == ref
+        assert batch == ref
+
+
 @pytest.mark.parametrize("seed", [3, 11])
 def test_bit_exact_across_seeds(seed):
     ref, fast, batch = run_engines("profess", seed=seed)
@@ -118,6 +138,7 @@ MIXED_CELLS = (
      dict(warmup_cpu=0.0, warmup_gpu=0.5)),
     ("waypart", "C7", 5, dict(cpu_refs=2000, gpu_refs=2000),
      dict(warmup_cpu=0.5, warmup_gpu=0.1)),
+    ("kv-windowpin", "kvcache", 7, dict(cpu_refs=900, gpu_refs=4000), {}),
 )
 
 

@@ -1,0 +1,132 @@
+"""The ported KV-cache placement baselines: registry round-trips and
+the per-policy decision logic (window pinning, layer gating, token
+demotion under pressure)."""
+
+from __future__ import annotations
+
+import pickle
+from types import SimpleNamespace
+
+import pytest
+
+from repro.config import default_system
+from repro.experiments.designs import (ALL_DESIGNS, KVCACHE_DESIGNS,
+                                       design_config, make_policy)
+from repro.hybrid.policies.llm import (LAYER_BLOCKS_DEFAULT,
+                                       N_LAYERS_DEFAULT, LayerSplitPolicy,
+                                       TokenLRUPolicy, WindowPinPolicy)
+
+KV_CLASSES = {"kv-windowpin": WindowPinPolicy,
+              "kv-layersplit": LayerSplitPolicy,
+              "kv-tokenlru": TokenLRUPolicy}
+
+
+# -- registry round-trips ----------------------------------------------------
+
+@pytest.mark.parametrize("name", sorted(KV_CLASSES))
+def test_registry_round_trip(name):
+    assert name in ALL_DESIGNS
+    pol = make_policy(name)
+    assert isinstance(pol, KV_CLASSES[name])
+    assert pol.name == name
+    # fresh instance per call (policies are stateful)
+    assert make_policy(name) is not pol
+    # no native-geometry transform: the KV designs run on the system's
+    # geometry, like every non-HAShCache design
+    cfg = default_system()
+    assert design_config(name, cfg) is cfg
+
+
+def test_kvcache_design_set():
+    assert set(KVCACHE_DESIGNS) == set(KV_CLASSES) | {"hydrogen"}
+    for name in KVCACHE_DESIGNS:
+        assert name in ALL_DESIGNS
+
+
+@pytest.mark.parametrize("name", sorted(KV_CLASSES))
+def test_policies_pickle_before_attach(name):
+    pol = make_policy(name)
+    clone = pickle.loads(pickle.dumps(pol))
+    assert clone.name == pol.name
+
+
+# -- window pinning ----------------------------------------------------------
+
+def test_windowpin_fills_on_second_miss_within_window():
+    pol = WindowPinPolicy(window_blocks=2)
+    assert pol.allow_migration("cpu", 1, 1, False)  # CPU unrestricted
+    assert not pol.allow_migration("gpu", 10, 1, False)  # first miss
+    assert pol.allow_migration("gpu", 10, 1, False)  # re-missed: pin
+    # capacity 2: blocks 20, 30 evict 10 from the window
+    assert not pol.allow_migration("gpu", 20, 1, False)
+    assert not pol.allow_migration("gpu", 30, 1, False)
+    assert not pol.allow_migration("gpu", 10, 1, False)  # forgotten
+    with pytest.raises(ValueError):
+        WindowPinPolicy(window_blocks=0)
+
+
+# -- layer-aware split -------------------------------------------------------
+
+def _attach(pol, assoc=4):
+    cfg = default_system()
+    pol.attach(SimpleNamespace(cfg=cfg, telemetry=None))
+    return cfg
+
+
+def test_layersplit_way_partition_and_layer_gate():
+    pol = LayerSplitPolicy(cpu_frac=0.5, pinned_layers=2)
+    _attach(pol)
+    assert pol.eligible_ways(0, "cpu") == (0, 1)
+    assert pol.eligible_ways(0, "gpu") == (2, 3)
+    assert pol.way_owner(0, 0) == "cpu" and pol.way_owner(0, 3) == "gpu"
+    span = N_LAYERS_DEFAULT * LAYER_BLOCKS_DEFAULT
+    for layer in range(N_LAYERS_DEFAULT):
+        block = 7 * span + layer * LAYER_BLOCKS_DEFAULT + 5
+        assert pol.layer_of(block) == layer
+        assert pol.allow_migration("gpu", block, 1, False) == (layer < 2)
+        assert pol.allow_migration("cpu", block, 1, False)
+
+
+def test_layersplit_default_pins_half_the_layers():
+    pol = LayerSplitPolicy()
+    assert pol.pinned_layers == N_LAYERS_DEFAULT // 2
+    with pytest.raises(ValueError):
+        LayerSplitPolicy(cpu_frac=1.5)
+
+
+# -- token demotion ----------------------------------------------------------
+
+def _fake_ctrl(occ_frac):
+    cfg = default_system()
+    total = cfg.num_sets * cfg.hybrid.assoc
+    return SimpleNamespace(
+        cfg=cfg, telemetry=None,
+        occupancy_by_class=lambda: {"cpu": int(total * occ_frac), "gpu": 0})
+
+
+def test_tokenlru_demotes_old_tokens_only_under_pressure():
+    pol = TokenLRUPolicy(keep_recent=16, pressure_threshold=0.5)
+    pol.attach(_fake_ctrl(occ_frac=0.25))
+    new = 100  # token index within the layer slab
+    old = 10
+    assert pol.allow_migration("gpu", new, 1, False)  # advances the tail
+    assert pol.allow_migration("gpu", old, 1, False)  # no pressure yet
+    pol.on_epoch(5000.0, {})
+    assert not pol._pressured
+    pol.attach(_fake_ctrl(occ_frac=0.75))
+    pol.on_epoch(10000.0, {})
+    assert pol._pressured
+    assert not pol.allow_migration("gpu", old, 1, False)  # cold prefix
+    assert pol.allow_migration("gpu", new - 8, 1, False)  # live tail
+    assert pol.allow_migration("cpu", old, 1, False)  # CPU unrestricted
+    with pytest.raises(ValueError):
+        TokenLRUPolicy(keep_recent=0)
+
+
+def test_tokenlru_tail_tracks_max_token():
+    pol = TokenLRUPolicy()
+    layer_span = LAYER_BLOCKS_DEFAULT
+    pol.allow_migration("gpu", 3 * layer_span + 42, 1, False)
+    assert pol._tail == 42
+    pol.allow_migration("gpu", 7, 1, False)
+    assert pol._tail == 42  # monotonic
