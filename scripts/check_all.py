@@ -19,6 +19,10 @@ PASS/FAIL/SKIP summary:
 * ``kvcache`` — LLM workload-family smoke: the KV-cache mix compares
   the ported placement baselines against Hydrogen on the lock-step
   batch engine (docs/workloads.md);
+* ``sanitize`` — divergence sanitizer smoke: replay a small mix x
+  design matrix on the fast and batch engines with boundary-state
+  digests enabled and require zero divergences from the reference
+  engine (``repro sanitize``, docs/sanitize.md);
 * ``ruff`` / ``mypy`` — external style and type gates, configured in
   pyproject.toml.  They are optional dependencies (the ``lint`` extra);
   when not installed the gate reports SKIP rather than failing, and the
@@ -59,6 +63,9 @@ GATES: dict[str, list[str]] = {
                 "--mix", "kvcache",
                 "--designs", "hydrogen,kv-windowpin,kv-tokenlru",
                 "--engine", "batch", "--scale", "0.05", "--no-cache"],
+    "sanitize": [sys.executable, "-m", "repro", "sanitize",
+                 "--mix", "C1", "--designs", "hydrogen,waypart",
+                 "--engines", "fast,batch", "--scale", "0.02"],
     "ruff": [sys.executable, "-m", "ruff", "check",
              "src", "tests", "benchmarks", "scripts", "examples"],
     "mypy": [sys.executable, "-m", "mypy"],

@@ -5,9 +5,10 @@ Walks the public surface — ``repro.__all__`` and
 ``repro.experiments.__all__`` — and fails (non-zero exit) if any public
 class/function lacks a docstring or is never mentioned in
 ``docs/api.md``.  Also executes every ```python snippet of the guide
-pages listed in ``EXECUTED_DOCS`` (currently ``docs/workloads.md``;
-``docs/api.md`` snippets run via ``tests/test_doc_snippets.py``), so a
-guide whose examples rot fails the build.  Run directly
+pages listed in ``EXECUTED_DOCS`` (currently ``docs/workloads.md`` and
+``docs/sanitize.md``; ``docs/api.md`` snippets run via
+``tests/test_doc_snippets.py``), so a guide whose examples rot fails
+the build.  Run directly
 (``python scripts/check_docs.py``) or via the tier-1 suite
 (``tests/test_check_docs.py``).
 """
@@ -24,7 +25,8 @@ API_DOC = REPO / "docs" / "api.md"
 
 #: Guide pages whose ```python blocks must execute (shared namespace
 #: per page, top to bottom — pages may build on their own snippets).
-EXECUTED_DOCS = (REPO / "docs" / "workloads.md",)
+EXECUTED_DOCS = (REPO / "docs" / "workloads.md",
+                 REPO / "docs" / "sanitize.md")
 
 _SNIPPET = re.compile(r"```python\n(.*?)```", re.DOTALL)
 

@@ -26,19 +26,26 @@ from pathlib import Path
 
 from repro.analysis.apiusage import ApiUsageRule
 from repro.analysis.determinism import DeterminismRule
+from repro.analysis.floatorder import FloatOrderRule
 from repro.analysis.framework import (Finding, Module, Rule,
                                       iter_python_files, run_rules)
+from repro.analysis.isolation import StateIsolationRule
 from repro.analysis.mutables import MutableDefaultRule
 from repro.analysis.picklability import SweepPicklabilityRule
 from repro.analysis.purity import TelemetryPurityRule
 from repro.analysis.robustness import RobustnessRule
 from repro.analysis.sarif import sarif_json, to_sarif
+from repro.analysis.seedflow import SeedFlowRule
 from repro.analysis.statskeys import StatsKeyRegistryRule
 from repro.analysis.style import (LineLengthRule, UnusedImportRule,
                                   WhitespaceRule)
 
-#: The seven domain rules (always on) in reporting order.
-DOMAIN_RULES = (DeterminismRule, TelemetryPurityRule,
+#: The ten domain rules (always on) in reporting order.  SEED01, ISO01
+#: and FLT01 are the dataflow tier (repro.analysis.dataflow): semantic
+#: checks on seed provenance, cross-cell state isolation, and float
+#: accumulation order.
+DOMAIN_RULES = (DeterminismRule, SeedFlowRule, StateIsolationRule,
+                FloatOrderRule, TelemetryPurityRule,
                 SweepPicklabilityRule, StatsKeyRegistryRule,
                 MutableDefaultRule, ApiUsageRule, RobustnessRule)
 
@@ -54,9 +61,11 @@ def default_rules(docs_path: str | Path | None = None,
 
     ``docs_path`` pins the Stats-counter registry document
     (auto-discovered from the linted tree when None); ``style=False``
-    drops the STY* gates and runs only the seven domain rules.
+    drops the STY* gates and runs only the ten domain rules.
     """
-    rules: list[Rule] = [DeterminismRule(), TelemetryPurityRule(),
+    rules: list[Rule] = [DeterminismRule(), SeedFlowRule(),
+                         StateIsolationRule(), FloatOrderRule(),
+                         TelemetryPurityRule(),
                          SweepPicklabilityRule(),
                          StatsKeyRegistryRule(docs_path),
                          MutableDefaultRule(), ApiUsageRule(),
@@ -104,7 +113,8 @@ def rules_by_id(spec: str,
 __all__ = [
     "Finding", "Module", "Rule", "run_rules", "iter_python_files",
     "default_rules", "rules_by_id", "to_sarif", "sarif_json",
-    "DeterminismRule", "TelemetryPurityRule", "SweepPicklabilityRule",
+    "DeterminismRule", "SeedFlowRule", "StateIsolationRule",
+    "FloatOrderRule", "TelemetryPurityRule", "SweepPicklabilityRule",
     "StatsKeyRegistryRule", "MutableDefaultRule", "ApiUsageRule",
     "RobustnessRule",
     "LineLengthRule", "WhitespaceRule", "UnusedImportRule",

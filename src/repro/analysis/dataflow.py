@@ -1,0 +1,191 @@
+"""Intraprocedural dataflow (taint) mini-framework for lint rules.
+
+The syntactic rules (DET01 and friends) inspect one call site at a
+time; they cannot see that a seed argument is *present* but came from
+nowhere (``default_rng(time.time_ns())``), or was laundered through a
+local (``s = entropy(); default_rng(s)``).  This module adds the small
+amount of dataflow needed to ask "where did this expression's value
+come from?" without building a real CFG:
+
+* :class:`Origin` — one provenance tag: a function parameter
+  (``param:seed``), an attribute read (``attr:seed``), a literal
+  constant, an opaque zero-argument call, or unknown;
+* :func:`function_env` — flow-insensitive fixpoint over a function
+  body mapping each local name to its possible :class:`Origin` set;
+* :func:`expr_origins` — provenance of one expression under an
+  environment.
+
+The analysis is deliberately conservative: flow-insensitive (a name's
+origins are the union over every assignment to it), intraprocedural
+(calls propagate the union of their argument origins; a call with no
+arguments is opaque), and any construct it does not model yields
+:data:`UNKNOWN`.  Rules built on top (``seedflow``) treat *unknown* as
+"cannot prove safe" and flag it — the fallback errs toward a finding
+plus an explicit ``# noqa``, never toward silence.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.analysis.framework import dotted_name
+
+#: Fixpoint iteration cap: assignment chains (``a = seed; b = a; ...``)
+#: converge in O(chain length) passes; real functions need 2-3.
+_MAX_PASSES = 10
+
+
+@dataclass(frozen=True)
+class Origin:
+    """One provenance tag for a value.
+
+    ``kind`` is one of ``"param"`` (function parameter), ``"attr"``
+    (attribute read such as ``self.seed`` or ``cfg.seed``),
+    ``"literal"`` (constant), ``"call"`` (opaque call that takes no
+    propagatable arguments), or ``"unknown"``; ``name`` carries the
+    parameter/attribute/callee name where meaningful.
+    """
+
+    kind: str
+    name: str = ""
+
+
+#: Shared singletons for the unnamed origin kinds.
+LITERAL = Origin("literal")
+UNKNOWN = Origin("unknown")
+
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+def _params(fn: ast.AST) -> Iterator[str]:
+    """Parameter names of a function/lambda node, in order."""
+    args = fn.args  # type: ignore[attr-defined]
+    for group in (args.posonlyargs, args.args, args.kwonlyargs):
+        for a in group:
+            yield a.arg
+    for var in (args.vararg, args.kwarg):
+        if var is not None:
+            yield var.arg
+
+
+def expr_origins(node: ast.AST,
+                 env: dict[str, frozenset[Origin]]) -> frozenset[Origin]:
+    """Possible origins of ``node``'s value under ``env``.
+
+    Pure-value wrappers (arithmetic, conditionals, tuples, subscripts,
+    calls with arguments) propagate the union of their operands'
+    origins; everything unmodeled collapses to :data:`UNKNOWN`.
+    """
+    if isinstance(node, ast.Constant):
+        return frozenset({LITERAL})
+    if isinstance(node, ast.Name):
+        return env.get(node.id, frozenset({Origin("unknown", node.id)}))
+    if isinstance(node, ast.Attribute):
+        # Any dotted read ends in an attribute name: self.seed, cfg.seed,
+        # self.cfg.seed all count as attr:seed.
+        return frozenset({Origin("attr", node.attr)})
+    if isinstance(node, ast.BinOp):
+        return expr_origins(node.left, env) | expr_origins(node.right, env)
+    if isinstance(node, ast.UnaryOp):
+        return expr_origins(node.operand, env)
+    if isinstance(node, ast.IfExp):
+        return expr_origins(node.body, env) | expr_origins(node.orelse, env)
+    if isinstance(node, ast.BoolOp):
+        out: frozenset[Origin] = frozenset()
+        for v in node.values:
+            out |= expr_origins(v, env)
+        return out
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        out = frozenset()
+        for elt in node.elts:
+            out |= expr_origins(elt, env)
+        return out or frozenset({LITERAL})
+    if isinstance(node, ast.Subscript):
+        return expr_origins(node.value, env)
+    if isinstance(node, ast.Starred):
+        return expr_origins(node.value, env)
+    if isinstance(node, ast.NamedExpr):
+        return expr_origins(node.value, env)
+    if isinstance(node, ast.Call):
+        out = frozenset()
+        for arg in node.args:
+            out |= expr_origins(arg, env)
+        for kw in node.keywords:
+            out |= expr_origins(kw.value, env)
+        if out:
+            return out  # int(seed), hash((a, b)), ... propagate
+        chain = dotted_name(node.func)
+        return frozenset({Origin("call", ".".join(chain))})
+    return frozenset({UNKNOWN})
+
+
+def _assignments(body: Iterable[ast.stmt]) -> Iterator[tuple[str, ast.AST]]:
+    """(name, value-expr) pairs for every simple assignment in ``body``.
+
+    Descends into compound statements (if/for/while/with/try) but not
+    into nested function or class scopes — their locals are theirs.
+    """
+    for stmt in body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            continue
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                yield from _target_names(target, stmt.value)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            yield from _target_names(stmt.target, stmt.value)
+        elif isinstance(stmt, ast.AugAssign):
+            yield from _target_names(stmt.target, stmt.value)
+        for field in ("body", "orelse", "finalbody"):
+            yield from _assignments(getattr(stmt, field, ()))
+        for handler in getattr(stmt, "handlers", ()):
+            yield from _assignments(handler.body)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            # Loop variable: origins of the iterated expression.
+            yield from _target_names(stmt.target, stmt.iter)
+
+
+def _target_names(target: ast.AST,
+                  value: ast.AST) -> Iterator[tuple[str, ast.AST]]:
+    if isinstance(target, ast.Name):
+        yield target.id, value
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        # Tuple unpacking: every bound name inherits the RHS origins
+        # (conservative — no element-wise matching).
+        for elt in target.elts:
+            yield from _target_names(elt, value)
+
+
+def function_env(fn: ast.AST) -> dict[str, frozenset[Origin]]:
+    """Name -> origin-set environment for one function's locals.
+
+    Parameters seed the environment with ``param:<name>``; a
+    flow-insensitive fixpoint over the body's assignments then unions
+    in the origins of every value each local is ever bound to.
+    """
+    env: dict[str, frozenset[Origin]] = {
+        name: frozenset({Origin("param", name)}) for name in _params(fn)}
+    body = fn.body if isinstance(fn.body, list) else [ast.Return(fn.body)]
+    pairs = list(_assignments(body))
+    for _ in range(_MAX_PASSES):
+        changed = False
+        for name, value in pairs:
+            new = env.get(name, frozenset()) | expr_origins(value, env)
+            if new != env.get(name):
+                env[name] = new
+                changed = True
+        if not changed:
+            break
+    return env
+
+
+def enclosing_function(module, node: ast.AST) -> ast.AST | None:
+    """Innermost function/lambda containing ``node`` (via parent links)."""
+    cur = module.parent(node)
+    while cur is not None:
+        if isinstance(cur, _FUNC_NODES):
+            return cur
+        cur = module.parent(cur)
+    return None

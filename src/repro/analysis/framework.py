@@ -72,6 +72,7 @@ class Module:
         self.tree = tree
         self._parents: dict[ast.AST, ast.AST] | None = None
         self.noqa = _parse_noqa(self.lines)
+        self._noqa_spans: dict[int, set[str] | None] | None = None
 
     def parent(self, node: ast.AST) -> ast.AST | None:
         """Enclosing AST node of ``node`` (None for the module root)."""
@@ -84,6 +85,62 @@ class Module:
     def parts(self) -> tuple[str, ...]:
         """Path components of ``rel`` (for directory-scoped rules)."""
         return tuple(Path(self.rel).parts)
+
+    def suppressions(self, line: int) -> set[str] | None | str:
+        """Effective ``# noqa`` state for findings anchored at ``line``.
+
+        A multi-line statement is one suppression scope: a marker on
+        *any* line of its span (for compound statements, the header up
+        to the first body statement) reaches findings reported at any
+        other line of that span — so ``# noqa`` on the closing paren of
+        a wrapped call suppresses the finding at the call's first line.
+        Returns the suppressed-rule set, ``None`` for suppress-all, or
+        ``"absent"`` when no marker applies.
+        """
+        direct = self.noqa.get(line, "absent")
+        if direct != "absent":
+            return direct
+        if self._noqa_spans is None:
+            self._noqa_spans = self._expand_noqa_spans()
+        return self._noqa_spans.get(line, "absent")
+
+    def _expand_noqa_spans(self) -> dict[int, set[str] | None]:
+        """Propagate noqa markers across statement line spans.
+
+        Simple statements span ``lineno..end_lineno``; compound
+        statements (def/if/for/...) contribute only their header span —
+        a marker inside the body must not silence findings on the
+        header, and vice versa.
+        """
+        if not self.noqa:
+            return {}
+        out: dict[int, set[str] | None] = {}
+        for node in ast.walk(self.tree):
+            if not isinstance(node, ast.stmt):
+                continue
+            start = node.lineno
+            child_lines = [c.lineno for c in ast.iter_child_nodes(node)
+                           if isinstance(c, ast.stmt)]
+            end = (min(child_lines) - 1 if child_lines
+                   else (node.end_lineno or start))
+            if end <= start:
+                continue  # single-line statement: exact-line map suffices
+            marks = [self.noqa[i] for i in range(start, end + 1)
+                     if i in self.noqa]
+            if not marks:
+                continue
+            merged: set[str] | None = None  # bare noqa: suppress all
+            if all(m is not None for m in marks):
+                merged = {r for m in marks if m is not None for r in m}
+            for i in range(start, end + 1):
+                existing = out.get(i)
+                if i not in out:
+                    out[i] = set(merged) if merged is not None else None
+                elif existing is None or merged is None:
+                    out[i] = None
+                else:
+                    existing.update(merged)
+        return out
 
 
 class Rule:
@@ -99,6 +156,10 @@ class Rule:
     name: str = "rule"
     severity: str = "error"
     description: str = ""
+    #: Rules whose :meth:`finalize` findings are only meaningful after
+    #: seeing the whole tree (e.g. the stats-key registry) set this;
+    #: incremental drivers (``repro lint --changed``) skip them.
+    whole_tree: bool = False
 
     def check(self, module: Module) -> Iterable[Finding]:
         """Findings for one parsed module (may be empty)."""
@@ -174,7 +235,7 @@ def load_module(path: Path) -> Module | Finding:
 def _suppressed(finding: Finding, module: Module | None) -> bool:
     if module is None:
         return False
-    rules = module.noqa.get(finding.line, "absent")
+    rules = module.suppressions(finding.line)
     if rules == "absent":
         return False
     return rules is None or finding.rule_id.upper() in rules

@@ -111,6 +111,7 @@ class StatsKeyRegistryRule(Rule):
 
     rule_id = "KEY01"
     name = "stats-key-registry"
+    whole_tree = True
     description = ("every Stats counter key literal (add/get/delta/"
                    "*_KEYS sites) must appear in docs/telemetry.md's "
                    "Stats counter registry, and every documented "

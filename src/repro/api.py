@@ -54,7 +54,8 @@ def _coerce_mix(mix: str | WorkloadMix, scale: float | None,
 def simulate(*, mix: str | WorkloadMix, design: str = "hydrogen",
              cfg: SystemConfig | None = None, engine: str | None = "fast",
              scale: float | None = None, seed: int = 7,
-             native_geometry: bool = True, **sim_kw) -> SimResult:
+             native_geometry: bool = True, sanitize: bool = False,
+             **sim_kw) -> SimResult:
     """Run one design on one mix; returns a :class:`SimResult`.
 
     ``mix`` is a Table II name (built with ``scale``/``seed``; ``scale``
@@ -64,11 +65,38 @@ def simulate(*, mix: str | WorkloadMix, design: str = "hydrogen",
     ``"fast"`` (the default) and ``"batch"`` (the fused-interpreter
     batch engine of :mod:`repro.engine.batch`; a single simulation runs
     as a one-cell batch) are both bit-exact with ``"reference"``;
-    ``None`` defers to ``$REPRO_ENGINE``.  Extra keywords — e.g.
-    ``telemetry=`` — pass through to the simulator.
+    ``None`` defers to ``$REPRO_ENGINE``.  ``sanitize=True`` replays
+    the run on the reference engine with boundary-state digests
+    (:mod:`repro.sanitize`) and raises
+    :class:`~repro.sanitize.DivergenceError` localizing the first
+    divergent (boundary, component) if the engines disagree (registry-
+    name designs only — a policy instance cannot be rebuilt for the
+    reference replay).  Extra keywords — e.g. ``telemetry=`` or a
+    ``sanitize=`` :class:`~repro.sanitize.StateRecorder` on the
+    simulator — pass through to the simulator.
     """
-    resolve_engine(engine)  # fail fast on typos, before building the mix
-    return _run_mix(design, _coerce_mix(mix, scale, seed), cfg,
+    eng = resolve_engine(engine)  # fail fast on typos, pre-mix-build
+    built = _coerce_mix(mix, scale, seed)
+    if sanitize is True:
+        from repro.sanitize import (DivergenceError, StateRecorder,
+                                    first_divergence)
+        if not isinstance(design, str):
+            raise ValueError("sanitize=True needs a registry-name design "
+                             "(a policy instance cannot be rebuilt for "
+                             "the reference replay)")
+        rec = StateRecorder()
+        res = _run_mix(design, built, cfg, native_geometry=native_geometry,
+                       engine=eng, sanitize=rec, **sim_kw)
+        if eng != "reference":
+            ref = StateRecorder()
+            _run_mix(design, built, cfg, native_geometry=native_geometry,
+                     engine="reference", sanitize=ref, **sim_kw)
+            div = first_divergence(ref.records, rec.records,
+                                   "reference", eng)
+            if div is not None:
+                raise DivergenceError(div)
+        return res
+    return _run_mix(design, built, cfg,
                     native_geometry=native_geometry, engine=engine,
                     **sim_kw)
 

@@ -16,6 +16,9 @@ Commands
 ``config``   dump the (possibly overridden) system configuration as JSON
 ``designs``  list available designs and workloads
 ``lint``     run the AST invariant linter (docs/analysis.md) over paths
+``sanitize`` replay engines with boundary-state digests and report the
+             first divergent (epoch, channel, component)
+             (docs/sanitize.md)
 
 ``run``/``compare``/``sweep`` additionally take ``--trace PATH|DIR`` to
 stream per-run telemetry JSONL (schema: docs/telemetry.md).
@@ -26,6 +29,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import subprocess
 import sys
 from pathlib import Path
 
@@ -397,13 +401,52 @@ def cmd_report(args) -> int:
     return 0
 
 
+def changed_files(paths: list[str], base: str = "main") -> list[str]:
+    """Python files under ``paths`` differing from ``merge-base HEAD base``.
+
+    Committed changes come from ``git diff --name-only`` against the
+    merge base; uncommitted new files from ``git ls-files --others``.
+    Raises ``SystemExit`` when git (or the base ref) is unavailable —
+    ``--changed`` only makes sense inside a repository.
+    """
+    def git(*argv: str) -> list[str]:
+        proc = subprocess.run(["git", *argv], capture_output=True,
+                              text=True)
+        if proc.returncode != 0:
+            raise SystemExit(f"repro lint --changed: git {argv[0]} failed: "
+                             f"{proc.stderr.strip()}")
+        return [ln for ln in proc.stdout.splitlines() if ln.strip()]
+
+    merge_base = git("merge-base", "HEAD", base)[0]
+    candidates = set(git("diff", "--name-only", merge_base))
+    candidates.update(git("ls-files", "--others", "--exclude-standard"))
+    roots = [Path(p).resolve() for p in paths]
+    out = []
+    for rel in sorted(candidates):
+        p = Path(rel)
+        if p.suffix != ".py" or not p.exists():
+            continue
+        rp = p.resolve()
+        if any(root == rp or root in rp.parents for root in roots):
+            out.append(rel)
+    return out
+
+
 def cmd_lint(args) -> int:
     """Run the AST invariant linter (``repro.analysis``) over paths.
 
     Exit code 0 when clean, 1 when findings exist, 2 on usage errors.
-    ``--json`` emits a SARIF-shaped report instead of text lines.
+    ``--json`` emits a SARIF-shaped report instead of text lines;
+    ``--changed`` narrows the run to files differing from the merge
+    base with ``--base`` (default ``main``).
     """
     paths = args.paths or (["src"] if Path("src").is_dir() else ["."])
+    if args.changed:
+        paths = changed_files(paths, args.base)
+        if not paths:
+            print("repro lint: no changed Python files under the given "
+                  "paths; nothing to do")
+            return 0
     docs = args.docs
     if docs is None and Path("docs/telemetry.md").exists():
         docs = "docs/telemetry.md"
@@ -414,6 +457,10 @@ def cmd_lint(args) -> int:
             rules = default_rules(docs, style=not args.no_style)
     except ValueError as exc:
         raise SystemExit(f"repro lint: {exc}")
+    if args.changed:
+        # Whole-tree rules (cross-module registries) see only a slice of
+        # their producers on an incremental run and would misfire.
+        rules = [r for r in rules if not r.whole_tree]
     if args.list_rules:
         for r in rules:
             print(f"{r.rule_id}  {r.name:20s} [{r.severity}] "
@@ -435,6 +482,40 @@ def cmd_lint(args) -> int:
               f"({n_err} error, {n_warn} warning) over "
               f"{', '.join(paths)}")
     return 1 if findings else 0
+
+
+def cmd_sanitize(args) -> int:
+    """Replay engines with boundary digests; report first divergences.
+
+    Runs each (design, engine) pair against a reference-engine
+    recording of the same cell and prints either ``ok`` or the first
+    divergent (boundary, component) with both digests.  Exit code 0
+    when every pair matches, 1 otherwise.
+    """
+    from repro.sanitize import sanitize_compare
+
+    cfg = _load_cfg(args)
+    engines = tuple(e.strip() for e in args.engines.split(",") if e.strip())
+    for eng in engines:
+        if eng not in ENGINES:
+            raise SystemExit(f"repro sanitize: unknown engine {eng!r}; "
+                             f"known: {ENGINES}")
+    designs = tuple(d.strip() for d in args.designs.split(",") if d.strip())
+    failures = 0
+    for design in designs:
+        reports = sanitize_compare(mix=args.mix, design=design, cfg=cfg,
+                                   engines=engines, scale=args.scale,
+                                   seed=args.seed)
+        for rep in reports:
+            head = (f"sanitize: {rep.mix} x {design} "
+                    f"[{rep.engine} vs reference]")
+            if rep.ok:
+                print(f"{head}: ok ({rep.boundaries} boundaries, "
+                      f"0 divergences)")
+            else:
+                failures += 1
+                print(f"{head}: FAIL — {rep.divergence.format()}")
+    return 1 if failures else 0
 
 
 def cmd_designs(args) -> int:
@@ -600,13 +681,29 @@ def make_parser() -> argparse.ArgumentParser:
                     help="comma-separated rule ids/names or the groups "
                          "domain|style|all (default: all)")
     sp.add_argument("--no-style", action="store_true",
-                    help="run only the seven domain rules")
+                    help="run only the ten domain rules")
     sp.add_argument("--docs", metavar="PATH",
                     help="Stats counter registry document "
                          "(default: docs/telemetry.md if present)")
     sp.add_argument("--list-rules", action="store_true",
                     help="list the selected rules and exit")
+    sp.add_argument("--changed", action="store_true",
+                    help="lint only files differing from "
+                         "git merge-base HEAD <base> (plus untracked)")
+    sp.add_argument("--base", default="main", metavar="REF",
+                    help="base ref for --changed (default: main)")
     sp.set_defaults(fn=cmd_lint)
+
+    sp = sub.add_parser(
+        "sanitize", help="replay engines with boundary-state digests and "
+                         "localize the first divergence (docs/sanitize.md)")
+    common(sp)
+    sp.add_argument("--engines", default="fast,batch",
+                    help="comma-separated engines to check against the "
+                         "reference recording (default: fast,batch)")
+    sp.add_argument("--designs", default="hydrogen",
+                    help="comma-separated design names (default: hydrogen)")
+    sp.set_defaults(fn=cmd_sanitize)
 
     sp = sub.add_parser("designs", help="list designs and workloads")
     sp.set_defaults(fn=cmd_designs)

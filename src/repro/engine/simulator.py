@@ -19,6 +19,7 @@ from repro.engine.stats import Stats, weighted_ipc
 from repro.hybrid.controller import HybridMemoryController
 from repro.hybrid.policies.base import PartitionPolicy
 from repro.mem.energy import EnergyBreakdown, energy_breakdown
+from repro.sanitize import NULL_SANITIZER, NullSanitizer, StateRecorder
 from repro.telemetry import NULL_SINK, Telemetry
 from repro.traces.mixes import WorkloadMix
 
@@ -111,7 +112,9 @@ class Simulation:
                  record_epochs: bool = False, warmup_cpu: float = 0.25,
                  warmup_gpu: float = 0.35,
                  telemetry: Telemetry | None = None,
-                 stall_epochs: int | None = STALL_EPOCHS_DEFAULT) -> None:
+                 stall_epochs: int | None = STALL_EPOCHS_DEFAULT,
+                 sanitize: "StateRecorder | NullSanitizer | None" = None
+                 ) -> None:
         self.cfg = cfg
         self.mix = mix
         self.max_cycles = max_cycles
@@ -120,6 +123,10 @@ class Simulation:
         self.stats = Stats()
         self.telemetry = telemetry if telemetry is not None else NULL_SINK
         self.telemetry.bind(lambda: self.eq.now)
+        #: Divergence sanitizer (repro.sanitize): NULL_SANITIZER costs one
+        #: attribute check per boundary tick; a StateRecorder digests
+        #: canonical engine state at every epoch/faucet/phase boundary.
+        self.sanitizer = sanitize if sanitize is not None else NULL_SANITIZER
         self.ctrl = self._controller_cls(cfg, self.eq, self.stats, policy,
                                          telemetry=self.telemetry)
         self.policy = policy
@@ -158,6 +165,11 @@ class Simulation:
     # -- clocks -----------------------------------------------------------------
 
     def _epoch_tick(self) -> None:
+        if self.sanitizer.enabled:
+            # Before flush_stats: the digest's merged-counter view is
+            # flush-invariant, and pre-callback state is what must agree
+            # across engines at a policy-visible boundary.
+            self.sanitizer.boundary("epoch", self)
         now = self.eq.now
         ep = self.cfg.epochs.epoch_cycles
         self.ctrl.flush_stats()  # adaptive policies read fresh counters
@@ -264,11 +276,15 @@ class Simulation:
         return sample
 
     def _faucet_tick(self) -> None:
+        if self.sanitizer.enabled:
+            self.sanitizer.boundary("faucet", self)
         self.policy.on_faucet(self.eq.now)
         if not self._all_done():
             self.eq.after(self.cfg.epochs.faucet_cycles, self._faucet_tick)
 
     def _phase_tick(self) -> None:
+        if self.sanitizer.enabled:
+            self.sanitizer.boundary("phase", self)
         self.policy.on_phase(self.eq.now)
         if not self._all_done():
             self.eq.after(self.cfg.epochs.phase_cycles, self._phase_tick)
