@@ -1,0 +1,212 @@
+#!/usr/bin/env python
+"""Campaign-service perf suite and smoke gate: BENCH_service.json.
+
+Boots an in-process campaign server (``serve_in_thread``), submits the
+same (mixes x designs) campaign ``--repeat`` times through the blocking
+:class:`~repro.service.client.ServiceClient`, and measures the
+**submit-to-last-row** wall time: everything between ``POST
+/v1/campaigns`` leaving the client and the final status line of the
+JSONL stream arriving — HTTP framing, schema encode/decode, fair-queue
+scheduling, and the engine batch itself.  The same grid is then timed
+through plain ``api.sweep(engine="batch")`` so the record carries the
+service overhead ratio, not just an absolute number.
+
+Correctness is asserted on every run, which makes this double as the
+``service`` smoke gate of ``scripts/check_all.py``: streamed rows must
+be bit-identical to the in-process facade (the schema-v1 JSON round
+trip is exact), every row must survive ``to_json``/``from_json``, and
+an immediately resubmitted campaign must dedup every cell.
+
+Like ``bench_fastpath.py``: per-repeat wall times are reported as
+min/median/spread and throughput is computed from the min (least
+interference; ratios of mins transfer across machines).  The committed
+``BENCH_service.json`` is only rewritten under an explicit
+``--update``; ``--check`` regression-gates ``rows_per_s`` against the
+committed record at equal workload (``--check-tolerance`` default 10%,
+the check_all gate passes 0.5 — sub-second smoke timings are noisy).
+
+Exit status is non-zero iff a correctness assertion fails or
+``--check`` found a regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro import api  # noqa: E402
+from repro.service.client import ServiceClient  # noqa: E402
+from repro.service.schema import CampaignSpec, CellRow  # noqa: E402
+from repro.service.server import serve_in_thread  # noqa: E402
+
+OUT = REPO / "BENCH_service.json"
+
+#: Record fields that define "the same workload" for ``--check``.
+WORKLOAD_KEYS = ("mixes", "designs", "scale", "seed")
+
+
+def row_key(row):
+    return (row.design, row.mix)
+
+
+def run_campaigns(handle, spec, repeat):
+    """Submit ``spec`` ``repeat`` times; returns (timings, last rows).
+
+    Each repeat uses a fresh client (one connection per call anyway)
+    and a distinct seed-preserving campaign, so the engine's in-memory
+    dedup map makes repeats 2..N measure the dedup/replay path — the
+    *first* repeat is the cold number, and ``min`` is therefore taken
+    over cold submissions only (one per fresh server).
+    """
+    client = ServiceClient(handle.host, handle.port)
+    times, rows = [], None
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        rows, final = client.run(spec)
+        times.append(time.perf_counter() - t0)
+        assert final.ok, f"campaign failed: {final.failures}"
+        assert len(rows) == final.total_cells
+    return times, rows
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(prog="bench_service",
+                                     description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny 4-cell campaign; the 'smoke' record")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="trace scale (default: 0.2, smoke 0.02)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="cold campaign submissions to time")
+    parser.add_argument("--update", action="store_true",
+                        help="write the record into the JSON (never "
+                             "written otherwise)")
+    parser.add_argument("--check", action="store_true",
+                        help="fail on a rows_per_s regression vs the "
+                             "committed record at equal workload")
+    parser.add_argument("--check-tolerance", type=float, default=0.10,
+                        help="allowed fractional throughput drop "
+                             "(default 0.10)")
+    parser.add_argument("--out", type=Path, default=OUT)
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        record_key, mixes, designs = "smoke", ["C1", "C5"], ("hydrogen",)
+        scale = 0.02 if args.scale is None else args.scale
+    else:
+        record_key = "campaign"
+        mixes = ["C1", "C2", "C5", "C9"]
+        designs = ("waypart", "hydrogen")
+        scale = 0.2 if args.scale is None else args.scale
+
+    spec = CampaignSpec(mixes=tuple(mixes), designs=designs, scale=scale,
+                        seed=args.seed, engine="batch")
+
+    # Cold submit-to-last-row: a fresh server per repeat so no repeat
+    # rides the previous one's in-memory dedup map.
+    times, rows = [], None
+    for _ in range(args.repeat):
+        with serve_in_thread(port=0, workers=1) as handle:
+            t, rows = run_campaigns(handle, spec, repeat=1)
+        times.extend(t)
+
+    # Correctness gate 1: bit-identity with the in-process facade.
+    t0 = time.perf_counter()
+    direct = api.sweep(mixes=mixes, designs=designs, scale=scale,
+                       seed=args.seed, engine="batch", cache=None)
+    direct_s = time.perf_counter() - t0
+    mismatch = sorted(rows, key=row_key) != sorted(direct.rows(),
+                                                   key=row_key)
+
+    # Correctness gate 2: every row survives the wire round trip.
+    broken = [r for r in rows if CellRow.from_json(r.to_json()) != r]
+
+    # Correctness gate 3: resubmitting dedups every cell.
+    with serve_in_thread(port=0, workers=1) as handle:
+        client = ServiceClient(handle.host, handle.port)
+        client.run(spec)
+        _, final = client.run(spec)
+    dedup_ok = final.deduped == final.total_cells
+
+    best = min(times)
+    record = {
+        "mixes": mixes,
+        "designs": list(designs),
+        "scale": scale,
+        "seed": args.seed,
+        "repeat": args.repeat,
+        "cells": len(rows),
+        "submit_to_last_row": {
+            "min": round(best, 3),
+            "median": round(statistics.median(times), 3),
+            "spread": round(max(times) - min(times), 3)},
+        "rows_per_s": round(len(rows) / best, 2),
+        "direct_sweep_s": round(direct_s, 3),
+        "overhead": round(best / direct_s, 3) if direct_s else None,
+        "identical": not mismatch,
+        "wire_round_trip": not broken,
+        "dedup_on_resubmit": dedup_ok,
+    }
+
+    print(f"bench_service[{record_key}]: {len(rows)} cells in "
+          f"{best:.2f}s ({record['rows_per_s']:.1f} rows/s), direct "
+          f"sweep {direct_s:.2f}s (overhead x{record['overhead']:.2f}), "
+          f"identical={record['identical']}, "
+          f"dedup={record['dedup_on_resubmit']}")
+
+    status = 0
+    if mismatch:
+        print("bench_service: STREAMED ROWS != api.sweep ROWS",
+              file=sys.stderr)
+        status = 1
+    if broken:
+        print(f"bench_service: {len(broken)} row(s) failed the JSON "
+              f"round trip", file=sys.stderr)
+        status = 1
+    if not dedup_ok:
+        print(f"bench_service: resubmit deduped {final.deduped}/"
+              f"{final.total_cells} cells", file=sys.stderr)
+        status = 1
+
+    if args.check:
+        committed = None
+        if args.out.exists():
+            committed = json.loads(args.out.read_text()).get(record_key)
+        if committed is None:
+            print("bench_service --check: no committed record; nothing "
+                  "to compare")
+        elif any(record.get(k) != committed.get(k)
+                 for k in WORKLOAD_KEYS):
+            print("bench_service --check: committed record has a "
+                  "different workload; nothing to compare")
+        else:
+            old = committed.get("rows_per_s")
+            new = record["rows_per_s"]
+            if old and new < old * (1.0 - args.check_tolerance):
+                print(f"bench_service --check[{record_key}]: rows_per_s "
+                      f"regressed: {new:.1f} measured vs {old:.1f} "
+                      f"committed (> {args.check_tolerance:.0%} drop)",
+                      file=sys.stderr)
+                status = 1
+
+    if args.update:
+        data = {}
+        if args.out.exists():
+            data = json.loads(args.out.read_text())
+        data[record_key] = record
+        args.out.write_text(json.dumps(data, indent=2, sort_keys=True)
+                            + "\n")
+        print(f"bench_service: wrote '{record_key}' -> {args.out.name}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

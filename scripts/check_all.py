@@ -23,6 +23,12 @@ PASS/FAIL/SKIP summary:
   design matrix on the fast and batch engines with boundary-state
   digests enabled and require zero divergences from the reference
   engine (``repro sanitize``, docs/sanitize.md);
+* ``service`` — campaign-server smoke: boot an in-process server,
+  stream a 4-cell campaign, and require bit-identity with
+  ``api.sweep``, an exact schema round trip, and full dedup on
+  resubmit, plus the throughput regression gate against the committed
+  BENCH_service.json (scripts/bench_service.py --smoke --check;
+  read-only — the JSON is only rewritten by an explicit ``--update``);
 * ``ruff`` / ``mypy`` — external style and type gates, configured in
   pyproject.toml.  They are optional dependencies (the ``lint`` extra);
   when not installed the gate reports SKIP rather than failing, and the
@@ -66,6 +72,8 @@ GATES: dict[str, list[str]] = {
     "sanitize": [sys.executable, "-m", "repro", "sanitize",
                  "--mix", "C1", "--designs", "hydrogen,waypart",
                  "--engines", "fast,batch", "--scale", "0.02"],
+    "service": [sys.executable, "scripts/bench_service.py", "--smoke",
+                "--check", "--check-tolerance", "0.5"],
     "ruff": [sys.executable, "-m", "ruff", "check",
              "src", "tests", "benchmarks", "scripts", "examples"],
     "mypy": [sys.executable, "-m", "mypy"],

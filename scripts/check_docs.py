@@ -5,10 +5,10 @@ Walks the public surface — ``repro.__all__`` and
 ``repro.experiments.__all__`` — and fails (non-zero exit) if any public
 class/function lacks a docstring or is never mentioned in
 ``docs/api.md``.  Also executes every ```python snippet of the guide
-pages listed in ``EXECUTED_DOCS`` (currently ``docs/workloads.md`` and
-``docs/sanitize.md``; ``docs/api.md`` snippets run via
-``tests/test_doc_snippets.py``), so a guide whose examples rot fails
-the build.  Run directly
+pages listed in ``EXECUTED_DOCS`` (currently ``docs/workloads.md``,
+``docs/sanitize.md`` and ``docs/service.md``; ``docs/api.md`` snippets
+run via ``tests/test_doc_snippets.py``), so a guide whose examples rot
+fails the build.  Run directly
 (``python scripts/check_docs.py``) or via the tier-1 suite
 (``tests/test_check_docs.py``).
 """
@@ -26,13 +26,14 @@ API_DOC = REPO / "docs" / "api.md"
 #: Guide pages whose ```python blocks must execute (shared namespace
 #: per page, top to bottom — pages may build on their own snippets).
 EXECUTED_DOCS = (REPO / "docs" / "workloads.md",
-                 REPO / "docs" / "sanitize.md")
+                 REPO / "docs" / "sanitize.md",
+                 REPO / "docs" / "service.md")
 
 _SNIPPET = re.compile(r"```python\n(.*?)```", re.DOTALL)
 
 #: Public modules whose ``__all__`` defines the documented surface.
 PUBLIC_MODULES = ("repro", "repro.api", "repro.experiments",
-                  "repro.analysis")
+                  "repro.analysis", "repro.service")
 
 
 def public_symbols() -> list[tuple[str, str, object]]:

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from pathlib import Path
 
-from repro.analysis.apiusage import ApiUsageRule
+from repro.analysis.apiusage import ApiUsageRule, PrivateImportRule
 from repro.analysis.determinism import DeterminismRule
 from repro.analysis.floatorder import FloatOrderRule
 from repro.analysis.framework import (Finding, Module, Rule,
@@ -40,14 +40,15 @@ from repro.analysis.statskeys import StatsKeyRegistryRule
 from repro.analysis.style import (LineLengthRule, UnusedImportRule,
                                   WhitespaceRule)
 
-#: The ten domain rules (always on) in reporting order.  SEED01, ISO01
-#: and FLT01 are the dataflow tier (repro.analysis.dataflow): semantic
-#: checks on seed provenance, cross-cell state isolation, and float
-#: accumulation order.
+#: The eleven domain rules (always on) in reporting order.  SEED01,
+#: ISO01 and FLT01 are the dataflow tier (repro.analysis.dataflow):
+#: semantic checks on seed provenance, cross-cell state isolation, and
+#: float accumulation order.
 DOMAIN_RULES = (DeterminismRule, SeedFlowRule, StateIsolationRule,
                 FloatOrderRule, TelemetryPurityRule,
                 SweepPicklabilityRule, StatsKeyRegistryRule,
-                MutableDefaultRule, ApiUsageRule, RobustnessRule)
+                MutableDefaultRule, ApiUsageRule, PrivateImportRule,
+                RobustnessRule)
 
 #: Dependency-free style gates (subset of the ruff configuration).
 STYLE_RULES = (LineLengthRule, WhitespaceRule, UnusedImportRule)
@@ -61,7 +62,7 @@ def default_rules(docs_path: str | Path | None = None,
 
     ``docs_path`` pins the Stats-counter registry document
     (auto-discovered from the linted tree when None); ``style=False``
-    drops the STY* gates and runs only the ten domain rules.
+    drops the STY* gates and runs only the eleven domain rules.
     """
     rules: list[Rule] = [DeterminismRule(), SeedFlowRule(),
                          StateIsolationRule(), FloatOrderRule(),
@@ -69,7 +70,7 @@ def default_rules(docs_path: str | Path | None = None,
                          SweepPicklabilityRule(),
                          StatsKeyRegistryRule(docs_path),
                          MutableDefaultRule(), ApiUsageRule(),
-                         RobustnessRule()]
+                         PrivateImportRule(), RobustnessRule()]
     if style:
         rules.extend(cls() for cls in STYLE_RULES)
     return rules
@@ -116,7 +117,7 @@ __all__ = [
     "DeterminismRule", "SeedFlowRule", "StateIsolationRule",
     "FloatOrderRule", "TelemetryPurityRule", "SweepPicklabilityRule",
     "StatsKeyRegistryRule", "MutableDefaultRule", "ApiUsageRule",
-    "RobustnessRule",
+    "PrivateImportRule", "RobustnessRule",
     "LineLengthRule", "WhitespaceRule", "UnusedImportRule",
     "DOMAIN_RULES", "STYLE_RULES", "ALL_RULES",
 ]

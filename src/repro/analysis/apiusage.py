@@ -1,4 +1,4 @@
-"""API01: forbid intra-package use of deprecated entry points.
+"""API01/API02: forbid deprecated entry points and private cross-imports.
 
 PR 4 moved the supported programmatic surface behind the keyword-only
 :mod:`repro.api` facade; the old free functions
@@ -6,11 +6,23 @@ PR 4 moved the supported programmatic surface behind the keyword-only
 :class:`~repro.engine.simulator.SimResult` aliases (``cpu_cycles`` /
 ``gpu_cycles``) remain as deprecation shims for external callers only.
 Library code importing a shim would warn on every internal call and
-defeat the migration, so this rule fails the build when a module inside
+defeat the migration, so API01 fails the build when a module inside
 the ``repro`` package imports a deprecated name or reads a deprecated
 result attribute.  The re-export hub ``repro/experiments/__init__.py``
 carries explicit ``# noqa: API01`` markers — keeping the shims importable
 for external code is its job.
+
+API02 closes the back door API01 left open: a module reaching across
+package lines for an underscore-private name (``from
+repro.experiments.sweep import _sweep_compare``) couples itself to an
+implementation detail no deprecation shim protects.  PR 9 promoted
+every such name to a public home, and API02 keeps it that way: inside
+``repro``, importing ``_private`` names (or ``_private`` modules) from
+anywhere but the importer's own package fails the build.  A package
+importing its *own* private submodule through its ``__init__`` facade
+(``from repro.engine import _kernels`` inside ``repro/engine/``) stays
+legal — that is the one place a private module is an internal detail,
+not a cross-module dependency.
 """
 
 from __future__ import annotations
@@ -57,8 +69,8 @@ class ApiUsageRule(Rule):
                         yield self.finding(
                             module, node,
                             f"import of deprecated {node.module}."
-                            f"{alias.name}; call repro.api (or the "
-                            f"private _{alias.name} impl) instead")
+                            f"{alias.name}; call repro.api (or its "
+                            f"public home in repro.experiments) instead")
             elif isinstance(node, ast.Attribute) and \
                     isinstance(node.ctx, ast.Load) and \
                     node.attr in DEPRECATED_ATTRS:
@@ -66,3 +78,86 @@ class ApiUsageRule(Rule):
                     module, node,
                     f"deprecated result attribute .{node.attr}; "
                     f"use .{DEPRECATED_ATTRS[node.attr]}")
+
+
+def _is_private(name: str) -> bool:
+    """Single-underscore names; dunders are protocol, not privacy."""
+    return name.startswith("_") and not (name.startswith("__")
+                                         and name.endswith("__"))
+
+
+def _importer_module(parts: tuple[str, ...]) -> tuple[str, ...] | None:
+    """Dotted-module path of a source file inside the ``repro`` tree.
+
+    ``("src", "repro", "engine", "batch.py")`` becomes ``("repro",
+    "engine", "batch")``; an ``__init__.py`` maps to its package
+    (``("repro", "engine")``).  Returns None outside the tree.
+    """
+    if "repro" not in parts:
+        return None
+    segs = list(parts[parts.index("repro"):])
+    leaf = segs[-1]
+    if leaf.endswith(".py"):
+        leaf = leaf[:-3]
+    if leaf == "__init__":
+        segs.pop()
+    else:
+        segs[-1] = leaf
+    return tuple(segs)
+
+
+class PrivateImportRule(Rule):
+    """Flag cross-package imports of ``_private`` names inside ``repro``."""
+
+    rule_id = "API02"
+    name = "private-import"
+    severity = "error"
+    description = ("underscore-private names stay inside their package; "
+                   "cross-module imports must use public names")
+
+    def check(self, module: Module) -> Iterable[Finding]:
+        importer = _importer_module(module.parts())
+        if importer is None:
+            return
+        # The package whose internals this file may legitimately see:
+        # its own package (for __init__.py, the package it defines).
+        own_pkg = importer if module.parts()[-1] == "__init__.py" \
+            else importer[:-1]
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.level == 0 \
+                    and node.module:
+                source = tuple(node.module.split("."))
+                if source[0] != "repro":
+                    continue
+                # Private module segments in the source path: legal only
+                # when the private module lives in the importer's own
+                # package (e.g. repro.engine._kernels from repro/engine/).
+                for depth, seg in enumerate(source[1:], start=1):
+                    if _is_private(seg) and source[:depth] != own_pkg:
+                        yield self.finding(
+                            module, node,
+                            f"import from private module {node.module}; "
+                            f"only {'.'.join(source[:depth])} may reach "
+                            f"inside it — use a public name")
+                        break
+                else:
+                    for alias in node.names:
+                        if _is_private(alias.name) and source != own_pkg:
+                            yield self.finding(
+                                module, node,
+                                f"cross-module import of private "
+                                f"{node.module}.{alias.name}; promote it "
+                                f"or use the public name")
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    source = tuple(alias.name.split("."))
+                    if source[0] != "repro":
+                        continue
+                    for depth, seg in enumerate(source[1:], start=1):
+                        if _is_private(seg) and source[:depth] != own_pkg:
+                            yield self.finding(
+                                module, node,
+                                f"import of private module {alias.name}; "
+                                f"only {'.'.join(source[:depth])} may "
+                                f"reach inside it — use a public name")
+                            break

@@ -59,7 +59,7 @@ def _seed_args(call: ast.Call) -> bool:
                                   for kw in call.keywords)
 
 
-def _set_expr(node: ast.AST) -> bool:
+def set_expr(node: ast.AST) -> bool:
     """Expression whose value is statically known to be a bare set."""
     if isinstance(node, (ast.Set, ast.SetComp)):
         return True
@@ -68,7 +68,7 @@ def _set_expr(node: ast.AST) -> bool:
         return True
     if isinstance(node, ast.BinOp) and isinstance(
             node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
-        return _set_expr(node.left) or _set_expr(node.right)
+        return set_expr(node.left) or set_expr(node.right)
     return False
 
 
@@ -89,13 +89,13 @@ class DeterminismRule(Rule):
             if isinstance(node, ast.Call):
                 yield from self._check_call(module, node, scoped)
             elif scoped and isinstance(node, (ast.For, ast.AsyncFor)):
-                if _set_expr(node.iter):
+                if set_expr(node.iter):
                     yield self._set_iter(module, node.iter)
             elif scoped and isinstance(node, (ast.ListComp, ast.SetComp,
                                               ast.DictComp,
                                               ast.GeneratorExp)):
                 for gen in node.generators:
-                    if _set_expr(gen.iter):
+                    if set_expr(gen.iter):
                         yield self._set_iter(module, gen.iter)
 
     def _check_call(self, module: Module, call: ast.Call,

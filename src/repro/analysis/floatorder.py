@@ -28,7 +28,7 @@ from __future__ import annotations
 import ast
 from typing import Iterable
 
-from repro.analysis.determinism import SIM_STATE_DIRS, _set_expr
+from repro.analysis.determinism import SIM_STATE_DIRS, set_expr
 from repro.analysis.framework import Finding, Module, Rule, dotted_name
 
 #: Accumulator call chains whose result depends on operand order.
@@ -57,7 +57,7 @@ def _sorted_wrap(node: ast.AST) -> bool:
 
 def _unordered(node: ast.AST) -> str | None:
     """Why ``node`` iterates in unordered/engine-dependent order."""
-    if _set_expr(node):
+    if set_expr(node):
         return "a bare set"
     if _sorted_wrap(node):
         return None

@@ -25,16 +25,17 @@ from dataclasses import dataclass
 from repro.config import SystemConfig, default_system
 from repro.engine.simulator import ENGINES, SimResult, resolve_engine
 from repro.experiments.designs import FIG5_DESIGNS
-from repro.experiments.runner import (ComboResult, _compare_designs,
-                                      _corun_slowdowns, _run_mix, env_scale,
-                                      geomean)
+from repro.experiments.runner import (ComboResult, compare_on_mix,
+                                      corun_metrics, env_scale, geomean,
+                                      run_design)
 from repro.experiments.resilience import (JobFailure, RetryPolicy,
                                           SweepReport)
-from repro.experiments.sweep import SweepEngine, SweepStats, _sweep_compare
+from repro.experiments.sweep import SweepEngine, SweepStats, sweep_grid
+from repro.service.schema import CellRow
 from repro.traces.mixes import WorkloadMix, build_mix
 
 __all__ = ["simulate", "sweep", "compare", "corun", "SweepResult",
-           "SimResult", "ComboResult", "ENGINES",
+           "SimResult", "ComboResult", "CellRow", "ENGINES",
            "RetryPolicy", "JobFailure", "SweepReport"]
 
 
@@ -43,8 +44,8 @@ def _resolve_scale(scale: float | None) -> float:
     return scale if scale is not None else env_scale()
 
 
-def _coerce_mix(mix: str | WorkloadMix, scale: float | None,
-                seed: int) -> WorkloadMix:
+def coerce_mix(mix: str | WorkloadMix, scale: float | None,
+               seed: int) -> WorkloadMix:
     """A Table II name becomes a built mix; a built mix passes through."""
     if isinstance(mix, str):
         return build_mix(mix, scale=_resolve_scale(scale), seed=seed)
@@ -76,7 +77,7 @@ def simulate(*, mix: str | WorkloadMix, design: str = "hydrogen",
     simulator — pass through to the simulator.
     """
     eng = resolve_engine(engine)  # fail fast on typos, pre-mix-build
-    built = _coerce_mix(mix, scale, seed)
+    built = coerce_mix(mix, scale, seed)
     if sanitize is True:
         from repro.sanitize import (DivergenceError, StateRecorder,
                                     first_divergence)
@@ -85,20 +86,22 @@ def simulate(*, mix: str | WorkloadMix, design: str = "hydrogen",
                              "(a policy instance cannot be rebuilt for "
                              "the reference replay)")
         rec = StateRecorder()
-        res = _run_mix(design, built, cfg, native_geometry=native_geometry,
-                       engine=eng, sanitize=rec, **sim_kw)
+        res = run_design(design, built, cfg,
+                         native_geometry=native_geometry,
+                         engine=eng, sanitize=rec, **sim_kw)
         if eng != "reference":
             ref = StateRecorder()
-            _run_mix(design, built, cfg, native_geometry=native_geometry,
-                     engine="reference", sanitize=ref, **sim_kw)
+            run_design(design, built, cfg,
+                       native_geometry=native_geometry,
+                       engine="reference", sanitize=ref, **sim_kw)
             div = first_divergence(ref.records, rec.records,
                                    "reference", eng)
             if div is not None:
                 raise DivergenceError(div)
         return res
-    return _run_mix(design, built, cfg,
-                    native_geometry=native_geometry, engine=engine,
-                    **sim_kw)
+    return run_design(design, built, cfg,
+                      native_geometry=native_geometry, engine=engine,
+                      **sim_kw)
 
 
 @dataclass(frozen=True)
@@ -128,14 +131,15 @@ class SweepResult:
         return {design: geomean(c.weighted_speedup for c in by_mix.values())
                 for design, by_mix in self.grid.items()}
 
-    def rows(self) -> list[dict]:
-        """Flat per-cell rows using the unified snake_case vocabulary."""
-        return [{"design": design, "mix": mix_name,
-                 "cycles_cpu": combo.result.cycles_cpu,
-                 "cycles_gpu": combo.result.cycles_gpu,
-                 "speedup_cpu": combo.speedup_cpu,
-                 "speedup_gpu": combo.speedup_gpu,
-                 "weighted_speedup": combo.weighted_speedup}
+    def rows(self) -> list[CellRow]:
+        """Flat per-cell rows in the versioned schema-v1 vocabulary.
+
+        Returns :class:`~repro.service.schema.CellRow` dataclasses —
+        the same objects ``report.perf_csv_rows`` consumes and the
+        campaign server streams.  ``row["design"]``-style dict access
+        still works for one release via a deprecation shim.
+        """
+        return [CellRow.from_combo(design, mix_name, combo)
                 for design, by_mix in self.grid.items()
                 for mix_name, combo in by_mix.items()]
 
@@ -172,10 +176,10 @@ def sweep(*, mixes, designs: tuple[str, ...] = FIG5_DESIGNS,
     runner = SweepEngine(workers=jobs, cache=cache, progress=progress,
                          retry=retry, job_timeout=job_timeout,
                          failures=failures, telemetry=sweep_telemetry)
-    grid = _sweep_compare(list(mixes), tuple(designs), cfg,
-                          scale=_resolve_scale(scale), seed=seed,
-                          native_geometry=native_geometry, runner=runner,
-                          trace_dir=trace_dir, engine=engine, **sim_kw)
+    grid = sweep_grid(list(mixes), tuple(designs), cfg,
+                      scale=_resolve_scale(scale), seed=seed,
+                      native_geometry=native_geometry, runner=runner,
+                      trace_dir=trace_dir, engine=engine, **sim_kw)
     first = next(iter(grid.values()), {})
     report = runner.report
     return SweepResult(grid=grid, mixes=tuple(first),
@@ -200,11 +204,11 @@ def compare(*, mix: str | WorkloadMix, designs: tuple[str, ...],
     the mapping.
     """
     resolve_engine(engine)
-    return _compare_designs(_coerce_mix(mix, scale, seed), tuple(designs),
-                            cfg, jobs=jobs, cache=cache, progress=progress,
-                            trace_dir=trace_dir, retry=retry,
-                            job_timeout=job_timeout, failures=failures,
-                            engine=engine, **sim_kw)
+    return compare_on_mix(coerce_mix(mix, scale, seed), tuple(designs),
+                          cfg, jobs=jobs, cache=cache, progress=progress,
+                          trace_dir=trace_dir, retry=retry,
+                          job_timeout=job_timeout, failures=failures,
+                          engine=engine, **sim_kw)
 
 
 def corun(*, mix: str | WorkloadMix, design="baseline",
@@ -225,10 +229,16 @@ def corun(*, mix: str | WorkloadMix, design="baseline",
     """
     resolve_engine(engine)
     if isinstance(design, str):
-        return _corun_slowdowns(_coerce_mix(mix, scale, seed), cfg, design,
-                                jobs=jobs, cache=cache, progress=progress,
-                                retry=retry, job_timeout=job_timeout,
-                                failures=failures, engine=engine, **sim_kw)
-    return _corun_slowdowns(_coerce_mix(mix, scale, seed), cfg, design,
-                            jobs=jobs, cache=cache, progress=progress,
-                            engine=engine, **sim_kw)
+        return corun_metrics(coerce_mix(mix, scale, seed), cfg, design,
+                             jobs=jobs, cache=cache, progress=progress,
+                             retry=retry, job_timeout=job_timeout,
+                             failures=failures, engine=engine, **sim_kw)
+    return corun_metrics(coerce_mix(mix, scale, seed), cfg, design,
+                         jobs=jobs, cache=cache, progress=progress,
+                         engine=engine, **sim_kw)
+
+
+# Pre-PR-9 underscore alias, kept importable for one release (new code —
+# and everything inside src/, enforced by lint rule API02 — uses the
+# public name).
+_coerce_mix = coerce_mix

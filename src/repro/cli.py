@@ -19,6 +19,9 @@ Commands
 ``sanitize`` replay engines with boundary-state digests and report the
              first divergent (epoch, channel, component)
              (docs/sanitize.md)
+``serve``    run the async campaign server in the foreground
+             (docs/service.md)
+``submit``   submit a campaign to a running server and stream its rows
 
 ``run``/``compare``/``sweep`` additionally take ``--trace PATH|DIR`` to
 stream per-run telemetry JSONL (schema: docs/telemetry.md).
@@ -46,6 +49,8 @@ from repro.experiments.report import (PERF_HEADERS, epoch_table,
                                       format_table, perf_csv_rows, to_csv)
 from repro.experiments.runner import geomean, weighted_speedup
 from repro.experiments.sweep import MixSpec
+from repro.service.queue import PRIORITIES
+from repro.service.server import DEFAULT_PORT
 from repro.telemetry import EpochRecorder, JsonlSink, TeeSink
 from repro.traces.cpu import CPU_SPECS
 from repro.traces.gpu import GPU_SPECS
@@ -518,6 +523,56 @@ def cmd_sanitize(args) -> int:
     return 1 if failures else 0
 
 
+def cmd_serve(args) -> int:
+    """Run the campaign server in the foreground (docs/service.md)."""
+    from repro.service.server import serve
+
+    serve(host=args.host, port=args.port, workers=args.jobs,
+          cache=_resolve_cli_cache(args, default_on=False),
+          retry=args.retries, job_timeout=args.timeout,
+          batch_cells=args.batch_cells)
+    return 0
+
+
+def cmd_submit(args) -> int:
+    """Submit one campaign to a running server and stream its rows."""
+    from repro.service.client import ServiceClient, ServiceError
+    from repro.service.schema import CampaignSpec
+
+    mixes = tuple(m.strip() for m in args.mixes.split(",") if m.strip())
+    designs = tuple(d.strip() for d in
+                    (args.designs or ",".join(FIG5_DESIGNS)).split(",")
+                    if d.strip())
+    spec = CampaignSpec(mixes=mixes, designs=designs, scale=args.scale,
+                        seed=args.seed, engine=args.engine,
+                        priority=args.priority,
+                        failures=("collect" if args.collect_failures
+                                  else "raise"))
+    client = ServiceClient(args.host, args.port, timeout=args.timeout)
+    rows = []
+    try:
+        status = client.submit(spec)
+        for row in client.stream(status.job_id):
+            rows.append(row)
+            if not args.quiet:
+                print(f"{row.design:>12s} x {row.mix:<8s} "
+                      f"w_speedup={row.weighted_speedup:.4f}")
+        final = client.last_status
+    except ServiceError as exc:
+        raise SystemExit(f"repro submit: {exc}")
+    if args.csv:
+        to_csv(PERF_HEADERS, perf_csv_rows(rows), args.csv)
+        print(f"wrote {args.csv}")
+    assert final is not None
+    print(f"campaign {final.job_id}: {final.rows} row(s), "
+          f"{final.deduped} deduped, {final.cache_hits} cache hit(s)")
+    if final.failures:
+        for f in final.failures:
+            print(f"FAILED {f.get('label')}: {f.get('error')}")
+        return 1
+    return 0
+
+
 def cmd_designs(args) -> int:
     print("designs: ", ", ".join(ALL_DESIGNS))
     print("mixes:   ", ", ".join(ALL_MIXES),
@@ -704,6 +759,51 @@ def make_parser() -> argparse.ArgumentParser:
     sp.add_argument("--designs", default="hydrogen",
                     help="comma-separated design names (default: hydrogen)")
     sp.set_defaults(fn=cmd_sanitize)
+
+    sp = sub.add_parser(
+        "serve", help="run the async campaign server in the foreground "
+                      "(docs/service.md)")
+    sp.add_argument("--host", default="127.0.0.1")
+    sp.add_argument("--port", type=int, default=DEFAULT_PORT,
+                    help=f"listening port (default {DEFAULT_PORT}; 0 = "
+                         f"ephemeral)")
+    sweep_opts(sp)
+    sp.add_argument("--retries", type=int, default=None, metavar="N",
+                    help="re-run a failed cell up to N extra times")
+    sp.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                    help="per-cell wall-clock budget in seconds")
+    sp.add_argument("--batch-cells", type=int, default=32, metavar="N",
+                    help="max cells drained from the fair queue into one "
+                         "engine batch (default 32)")
+    sp.set_defaults(fn=cmd_serve)
+
+    sp = sub.add_parser(
+        "submit", help="submit a campaign to a running server and stream "
+                       "its rows (docs/service.md)")
+    sp.add_argument("--host", default="127.0.0.1")
+    sp.add_argument("--port", type=int, default=DEFAULT_PORT)
+    sp.add_argument("--mixes", default="C1",
+                    help="comma-separated Table II or LLM mix names")
+    sp.add_argument("--designs", help="comma-separated design names "
+                                      "(default: the Fig. 5 set)")
+    sp.add_argument("--scale", type=float, default=0.05)
+    sp.add_argument("--seed", type=int, default=7)
+    sp.add_argument("--engine", choices=list(ENGINES), default="batch",
+                    help="engine the server runs the cells on "
+                         "(default batch)")
+    sp.add_argument("--priority", choices=sorted(PRIORITIES),
+                    default="batch",
+                    help="fair-queue class (weights: docs/service.md)")
+    sp.add_argument("--collect-failures", action="store_true",
+                    help="report failed cells and exit 1 instead of "
+                         "raising on the first one")
+    sp.add_argument("--timeout", type=float, default=300.0, metavar="SEC",
+                    help="max silence between stream rows (default 300)")
+    sp.add_argument("--csv", metavar="PATH",
+                    help="also write artifact-style perf rows to PATH")
+    sp.add_argument("--quiet", action="store_true",
+                    help="suppress per-row progress lines")
+    sp.set_defaults(fn=cmd_submit)
 
     sp = sub.add_parser("designs", help="list designs and workloads")
     sp.set_defaults(fn=cmd_designs)

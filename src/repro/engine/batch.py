@@ -57,8 +57,8 @@ import numpy as np
 
 from repro.config import SystemConfig
 from repro.engine import _kernels
-from repro.engine.fastpath import (FastHybridController, FastSimulation,
-                                   _FastAgent, _FastChannel)
+from repro.engine.fastpath import (FastAgent, FastChannel,
+                                   FastHybridController, FastSimulation)
 from repro.engine.simulator import SimResult
 from repro.hybrid.policies.profess import P_LEVELS
 from repro.mem.device import MemoryDevice
@@ -79,11 +79,11 @@ TAG_LOOKUP = 4    # payload (klass, addr, block, set_id, is_write,
 #                   agent, seq): remap-fill continuation
 
 
-class _BatchChannel(_FastChannel):
+class _BatchChannel(FastChannel):
     """Fast channel carrying ``(tag, payload)`` completions.
 
     Identical queueing/timing/counter arithmetic and lazy-release
-    bookkeeping as :class:`_FastChannel`; completions and releases are
+    bookkeeping as :class:`FastChannel`; completions and releases are
     pushed as tagged events for the fused interpreter.  The parameter
     positions of :meth:`submit` match the fast channel's
     ``(..., on_complete, extra)`` so background traffic routed through
@@ -252,10 +252,10 @@ class _BatchDevice(MemoryDevice):
     _channel_cls = _BatchChannel
 
 
-class _BatchAgent(_FastAgent):
+class _BatchAgent(FastAgent):
     """Trace agent driven entirely by the fused interpreter.
 
-    Only the lifecycle entry differs from :class:`_FastAgent`: the
+    Only the lifecycle entry differs from :class:`FastAgent`: the
     initial pump is scheduled as a :data:`TAG_WAKE` event (consuming the
     same sequence number the reference's ``eq.schedule`` would), and all
     pumping/response handling happens inline in :func:`_advance_cell`.
@@ -302,7 +302,7 @@ def _advance_cell(cell: "BatchCell") -> bool:
     finishes (all agents measured / heap drained), or ``max_cycles`` is
     reached.  Returns ``True`` iff the cell is still live.
 
-    The body is a fusion of ``_FastAgent._on_response``/``_pump`` and
+    The body is a fusion of ``FastAgent._on_response``/``_pump`` and
     ``FastHybridController.fast_access``/``_fast_lookup`` with the same
     operands in the same order; see those for the line-by-line
     semantics.  Mutable controller state that non-inlined code reads

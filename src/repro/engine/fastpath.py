@@ -136,7 +136,7 @@ class FastEventQueue(EventQueue):
         return n
 
 
-class _FastChannel:
+class FastChannel:
     """Slotted re-implementation of :class:`repro.mem.channel.Channel`.
 
     Identical queueing, timing and counter arithmetic (same operands in
@@ -368,12 +368,12 @@ class _FastChannel:
 
 
 class _FastDevice(MemoryDevice):
-    """Memory tier built from :class:`_FastChannel` servers."""
+    """Memory tier built from :class:`FastChannel` servers."""
 
-    _channel_cls = _FastChannel
+    _channel_cls = FastChannel
 
 
-class _FastAgent(TraceAgent):
+class FastAgent(TraceAgent):
     """Trace agent replaying shared structure-of-arrays trace columns.
 
     Block/set decomposition comes from the memoized
@@ -552,7 +552,7 @@ class FastHybridController(HybridMemoryController):
         self._remap_bytes = cfg.hybrid.remap_entry_bytes
         self._store_ways = self.store._ways
         self._store_index = self.store._index
-        self._agent_cb = _FastAgent._on_response
+        self._agent_cb = FastAgent._on_response
         self._cnt_cpu = self._cnt["cpu"]
         self._cnt_gpu = self._cnt["gpu"]
         # Per-set geometry rows (chans, owners, eligible_cpu,
@@ -919,8 +919,8 @@ class FastSimulation(Simulation):
 
     def _make_agent(self, name: str, trace, mlp: int, warmup_frac: float,
                     instr_scale: float) -> TraceAgent:
-        return _FastAgent(name, trace, mlp, self.eq, self.ctrl,
-                          warmup_frac, instr_scale)
+        return FastAgent(name, trace, mlp, self.eq, self.ctrl,
+                         warmup_frac, instr_scale)
 
 
 def simulate_fast(cfg, policy, mix, **kw) -> SimResult:

@@ -17,9 +17,9 @@ from repro.config import MB, SystemConfig, default_system, hbm2e, hbm3
 from repro.core.hydrogen import HydrogenPolicy
 from repro.engine.simulator import simulate
 from repro.experiments.designs import FIG5_DESIGNS, KVCACHE_DESIGNS
-from repro.experiments.runner import (ComboResult, _compare_designs,
-                                      _run_mix, geomean, weighted_speedup)
-from repro.experiments.sweep import MixSpec, _sweep_compare, _sweep_corun
+from repro.experiments.runner import (ComboResult, compare_on_mix, geomean,
+                                      run_design, weighted_speedup)
+from repro.experiments.sweep import MixSpec, corun_grid, sweep_grid
 from repro.traces.base import characterize
 from repro.traces.mixes import ALL_MIXES, build_mix, cpu_only, gpu_only
 
@@ -58,8 +58,8 @@ def fig2_slowdowns(mixes=ALL_MIXES, *, scale: float = 1.0,
     and ``cache`` control parallelism and the on-disk result cache.
     """
     cfg = cfg or default_system()
-    sd = _sweep_corun([MixSpec(n, scale=scale, seed=seed) for n in mixes],
-                      cfg, workers=jobs, cache=cache, progress=progress)
+    sd = corun_grid([MixSpec(n, scale=scale, seed=seed) for n in mixes],
+                    cfg, workers=jobs, cache=cache, progress=progress)
     return [{"mix": name,
              "slowdown_cpu": sd[name]["slowdown_cpu"],
              "slowdown_gpu": sd[name]["slowdown_gpu"]} for name in mixes]
@@ -77,7 +77,7 @@ def fig2_sensitivity(mix_name: str = "C1", *, scale: float = 1.0,
     mix = build_mix(mix_name, scale=scale, seed=seed)
 
     def run(cfg):
-        return _run_mix("baseline", mix, cfg)
+        return run_design("baseline", mix, cfg)
 
     ref = run(base)
     out: dict[str, list[dict]] = {"fast_bw": [], "fast_cap": [], "slow_bw": []}
@@ -126,9 +126,9 @@ def fig5_overall(mixes=ALL_MIXES, *, fast: str = "hbm2e", scale: float = 1.0,
     cfg = default_system()
     if fast == "hbm3":
         cfg = cfg.with_fast(hbm3())
-    return _sweep_compare([MixSpec(n, scale=scale, seed=seed) for n in mixes],
-                          tuple(designs), cfg, workers=jobs, cache=cache,
-                          progress=progress)
+    return sweep_grid([MixSpec(n, scale=scale, seed=seed) for n in mixes],
+                      tuple(designs), cfg, workers=jobs, cache=cache,
+                      progress=progress)
 
 
 def fig5_summary(results: dict[str, dict[str, ComboResult]]) -> list[dict]:
@@ -153,7 +153,7 @@ def fig6_energy(mixes=ALL_MIXES, *, scale: float = 1.0,
         mix = build_mix(name, scale=scale, seed=seed)
         energies = {}
         for design in ("hashcache", "profess", "hydrogen"):
-            r = _run_mix(design, mix, cfg)
+            r = run_design(design, mix, cfg)
             energies[design] = r.energy.total_nj
         ref = energies["hashcache"]
         rows.append({"mix": name,
@@ -184,7 +184,7 @@ def fig7_overheads(mixes=DEFAULT_SUBSET, *, scale: float = 1.0,
         acc = {v: [] for v in variants}
         for name in mixes:
             mix = build_mix(name, scale=scale, seed=seed)
-            base = _run_mix("baseline", mix, cfg)
+            base = run_design("baseline", mix, cfg)
             for vname, kw in variants.items():
                 pol = HydrogenPolicy.full(**kw)
                 res = simulate(cfg, pol, mix)
@@ -205,7 +205,7 @@ def fig8_search(mix_name: str = "C5", *, scale: float = 1.0, seed: int = 7,
     online result, normalized to the online result per the paper."""
     cfg = default_system()
     mix = build_mix(mix_name, scale=scale, seed=seed)
-    base = _run_mix("baseline", mix, cfg)
+    base = run_design("baseline", mix, cfg)
 
     grid = []
     for cap in caps:
@@ -250,8 +250,8 @@ def fig9_epochs(mixes=DEFAULT_SUBSET, *, scale: float = 1.0, seed: int = 7,
         for v in values:
             epochs = replace(base_cfg.epochs, **{param: v})
             cfg = replace(base_cfg, epochs=epochs)
-            per = _sweep_compare(specs, ("hydrogen",), cfg, workers=jobs,
-                                 cache=cache, progress=progress)
+            per = sweep_grid(specs, ("hydrogen",), cfg, workers=jobs,
+                             cache=cache, progress=progress)
             speeds = [per["hydrogen"][n].weighted_speedup for n in mixes]
             out.append({param: v, "geomean_speedup": geomean(speeds)})
         return out
@@ -270,8 +270,8 @@ def fig10_weights_cores(mix_name: str = "C6", *, scale: float = 1.0,
     out: dict[str, list[dict]] = {"weights": [], "cores": []}
     base_cfg = default_system()
     mix = build_mix(mix_name, scale=scale, seed=seed)
-    solo_cpu = _run_mix("baseline", cpu_only(mix), base_cfg)
-    solo_gpu = _run_mix("baseline", gpu_only(mix), base_cfg)
+    solo_cpu = run_design("baseline", cpu_only(mix), base_cfg)
+    solo_gpu = run_design("baseline", gpu_only(mix), base_cfg)
 
     for w in weight_ratios:
         cfg = replace(base_cfg, weight_cpu=float(w), weight_gpu=1.0)
@@ -287,8 +287,8 @@ def fig10_weights_cores(mix_name: str = "C6", *, scale: float = 1.0,
         cfg = replace(base_cfg, cpu=replace(base_cfg.cpu, cores=cores),
                       weight_cpu=float(12 * copies / 2), weight_gpu=1.0)
         cmix = build_mix(mix_name, scale=scale, seed=seed, cpu_copies=copies)
-        per = _compare_designs(cmix, ("profess", "hydrogen"), cfg, jobs=jobs,
-                               cache=cache, progress=progress)
+        per = compare_on_mix(cmix, ("profess", "hydrogen"), cfg, jobs=jobs,
+                             cache=cache, progress=progress)
         out["cores"].append({
             "cpu_cores": cores,
             "hydrogen_speedup": per["hydrogen"].weighted_speedup,
@@ -314,9 +314,9 @@ def fig11_geometry(mixes=("C1", "C5"), *, scale: float = 1.0, seed: int = 7,
     for a in assocs:
         for b in blocks:
             cfg = base_cfg.with_geometry(assoc=a, block=b)
-            per = _sweep_compare(specs, ("hashcache", "profess", "hydrogen"),
-                                 cfg, native_geometry=False, workers=jobs,
-                                 cache=cache, progress=progress)
+            per = sweep_grid(specs, ("hashcache", "profess", "hydrogen"),
+                             cfg, native_geometry=False, workers=jobs,
+                             cache=cache, progress=progress)
             rows.append({"assoc": a, "block": b,
                          **{d: geomean([per[d][n].weighted_speedup
                                         for n in mixes])
@@ -344,8 +344,8 @@ def kvcache_grid(mixes=("kvcache", "kvcache-batch", "kvcache-long"), *,
     specs = [MixSpec(n, scale=scale, seed=seed) for n in mixes]
     for cap in capacities_mb:
         cfg = base_cfg.with_fast(hbm2e(capacity=cap * MB))
-        per = _sweep_compare(specs, tuple(designs), cfg, workers=jobs,
-                             cache=cache, progress=progress)
+        per = sweep_grid(specs, tuple(designs), cfg, workers=jobs,
+                         cache=cache, progress=progress)
         for n in mixes:
             rows.append({"capacity_mb": cap, "mix": n,
                          **{d: per[d][n].weighted_speedup

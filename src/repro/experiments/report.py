@@ -11,6 +11,8 @@ import csv
 import io
 from typing import Iterable, Mapping, Sequence
 
+from repro.service.schema import CELL_ROW_FIELDS, CellRow
+
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence],
                  floatfmt: str = "{:.3f}") -> str:
@@ -46,29 +48,25 @@ def to_csv(headers: Sequence[str], rows: Iterable[Sequence],
     return text
 
 
-def perf_csv_rows(results: Mapping[str, Mapping[str, object]]) -> list[list]:
+def perf_csv_rows(results) -> list[list]:
     """Artifact-style perf rows: design x mix -> cycles and speedups.
 
-    ``results[design][mix]`` must be a
-    :class:`repro.experiments.runner.ComboResult`.
+    ``results`` is either the grid mapping ``{design: {mix:
+    ComboResult}}`` the figure drivers produce, or an iterable of
+    :class:`~repro.service.schema.CellRow` (e.g. ``api.sweep(...).
+    rows()`` or rows streamed from the campaign server) — every path
+    funnels through the same schema-v1 ``CellRow.perf_csv`` rounding,
+    so API, CSV, and wire agree cell for cell.
     """
-    rows = []
-    for design, by_mix in results.items():
-        for mix, combo in by_mix.items():
-            res = combo.result
-            rows.append([
-                design, mix,
-                round(res.cycles_cpu or 0.0, 1),
-                round(res.cycles_gpu or 0.0, 1),
-                round(combo.speedup_cpu, 4),
-                round(combo.speedup_gpu, 4),
-                round(combo.weighted_speedup, 4),
-            ])
-    return rows
+    if isinstance(results, Mapping):
+        results = [CellRow.from_combo(design, mix, combo)
+                   for design, by_mix in results.items()
+                   for mix, combo in by_mix.items()]
+    return [row.perf_csv() for row in results]
 
 
-PERF_HEADERS = ["design", "mix", "cycles_cpu", "cycles_gpu",
-                "speedup_cpu", "speedup_gpu", "weighted_speedup"]
+#: perf.csv column names — single-sourced from the schema-v1 row.
+PERF_HEADERS = list(CELL_ROW_FIELDS)
 
 #: Epoch-timeline table columns: (header, sample key) in print order.
 EPOCH_COLUMNS = (

@@ -188,21 +188,28 @@ class SweepReport(Mapping):
     :class:`JobFailure` per unrecoverable job, submission order),
     :attr:`retries` / :attr:`requeued` / :attr:`pool_restarts`
     counters for this batch, and :attr:`degraded` (the batch fell back
-    to serial execution after repeated pool deaths).  Compares equal
-    to a plain mapping with the same results, so existing
+    to serial execution after repeated pool deaths).  :attr:`deduped`
+    counts submitted jobs that collapsed onto an identical job in the
+    same batch and :attr:`cache_hits` counts jobs recalled from the
+    result cache instead of simulated — together they make
+    dedup-across-clients observable for the campaign server.  Compares
+    equal to a plain mapping with the same results, so existing
     bit-identical assertions keep working.
     """
 
     def __init__(self, results: "Mapping[Any, Any]",
                  failures: "tuple[JobFailure, ...] | list[JobFailure]" = (),
                  retries: int = 0, requeued: int = 0,
-                 pool_restarts: int = 0, degraded: bool = False) -> None:
+                 pool_restarts: int = 0, degraded: bool = False,
+                 deduped: int = 0, cache_hits: int = 0) -> None:
         self._results = dict(results)
         self.failures = tuple(failures)
         self.retries = retries
         self.requeued = requeued
         self.pool_restarts = pool_restarts
         self.degraded = degraded
+        self.deduped = deduped
+        self.cache_hits = cache_hits
 
     # -- mapping protocol --------------------------------------------------
 
@@ -245,4 +252,8 @@ class SweepReport(Mapping):
             bits.append(f"{self.pool_restarts} pool restart(s)")
         if self.degraded:
             bits.append("degraded to serial")
+        if self.deduped:
+            bits.append(f"{self.deduped} deduped")
+        if self.cache_hits:
+            bits.append(f"{self.cache_hits} cache hit(s)")
         return ", ".join(bits)

@@ -20,7 +20,8 @@ from repro.hybrid.policies.base import PartitionPolicy
 from repro.traces.mixes import WorkloadMix, build_mix, cpu_only, gpu_only
 
 
-def _deprecated(old: str, new: str) -> None:
+def warn_deprecated(old: str, new: str) -> None:
+    """Emit the one-line :class:`DeprecationWarning` every shim uses."""
     warnings.warn(f"{old} is deprecated; use {new} (see docs/api.md)",
                   DeprecationWarning, stacklevel=3)
 
@@ -58,10 +59,16 @@ class ComboResult:
     weighted_speedup: float
 
 
-def _run_mix(design: str | PartitionPolicy, mix: WorkloadMix,
-             cfg: SystemConfig | None = None, *,
-             native_geometry: bool = True, **sim_kw) -> SimResult:
-    """Run one design (by registry name or as a policy instance) on a mix."""
+def run_design(design: str | PartitionPolicy, mix: WorkloadMix,
+               cfg: SystemConfig | None = None, *,
+               native_geometry: bool = True, **sim_kw) -> SimResult:
+    """Run one design (by registry name or as a policy instance) on a mix.
+
+    The positional single-cell primitive behind :func:`repro.api.
+    simulate` — the facade adds mix coercion, engine resolution, and the
+    sanitize replay; library code that already holds a built mix may
+    call this directly.
+    """
     cfg = cfg or default_system()
     if isinstance(design, str):
         policy = make_policy(design)
@@ -75,9 +82,9 @@ def run_mix(design: str | PartitionPolicy, mix: WorkloadMix,
             cfg: SystemConfig | None = None, *,
             native_geometry: bool = True, **sim_kw) -> SimResult:
     """Deprecated: use :func:`repro.api.simulate` (keyword-only facade)."""
-    _deprecated("repro.experiments.runner.run_mix", "repro.api.simulate")
-    return _run_mix(design, mix, cfg, native_geometry=native_geometry,
-                    **sim_kw)
+    warn_deprecated("repro.experiments.runner.run_mix", "repro.api.simulate")
+    return run_design(design, mix, cfg, native_geometry=native_geometry,
+                      **sim_kw)
 
 
 def weighted_speedup(res: SimResult, base: SimResult,
@@ -116,25 +123,26 @@ def slowdown_metrics(corun: SimResult, solo_cpu: SimResult | None,
     }
 
 
-def _compare_designs(mix: WorkloadMix, designs: tuple[str, ...],
-                     cfg: SystemConfig | None = None, *,
-                     jobs: int | None = None, cache=None, progress=None,
-                     trace_dir: str | None = None, retry=None,
-                     job_timeout: float | None = None,
-                     failures: str = "raise",
-                     **sim_kw) -> dict[str, ComboResult]:
+def compare_on_mix(mix: WorkloadMix, designs: tuple[str, ...],
+                   cfg: SystemConfig | None = None, *,
+                   jobs: int | None = None, cache=None, progress=None,
+                   trace_dir: str | None = None, retry=None,
+                   job_timeout: float | None = None,
+                   failures: str = "raise",
+                   **sim_kw) -> dict[str, ComboResult]:
     """Run the baseline plus ``designs`` on one mix; normalize to baseline.
 
+    The single-mix grid primitive behind :func:`repro.api.compare`.
     Under ``failures="collect"`` designs whose cell failed are absent
     from the returned mapping (empty if the shared baseline failed).
     """
-    from repro.experiments.sweep import SweepEngine, _sweep_compare
+    from repro.experiments.sweep import SweepEngine, sweep_grid
     cfg = cfg or default_system()
     runner = SweepEngine(workers=jobs, cache=cache, progress=progress,
                          retry=retry, job_timeout=job_timeout,
                          failures=failures)
-    per = _sweep_compare([mix], tuple(designs), cfg, runner=runner,
-                         trace_dir=trace_dir, **sim_kw)
+    per = sweep_grid([mix], tuple(designs), cfg, runner=runner,
+                     trace_dir=trace_dir, **sim_kw)
     return {design: by_mix[mix.name] for design, by_mix in per.items()
             if mix.name in by_mix}
 
@@ -150,37 +158,37 @@ def compare_designs(mix: WorkloadMix, designs: tuple[str, ...],
     (``jobs`` fans out across processes, ``cache`` recalls simulated cells,
     ``trace_dir`` streams telemetry JSONL) and normalizes to the baseline.
     """
-    _deprecated("repro.experiments.runner.compare_designs",
-                "repro.api.compare")
-    return _compare_designs(mix, designs, cfg, jobs=jobs, cache=cache,
-                            progress=progress, trace_dir=trace_dir, **sim_kw)
+    warn_deprecated("repro.experiments.runner.compare_designs",
+                    "repro.api.compare")
+    return compare_on_mix(mix, designs, cfg, jobs=jobs, cache=cache,
+                          progress=progress, trace_dir=trace_dir, **sim_kw)
 
 
-def _corun_slowdowns(mix: WorkloadMix, cfg: SystemConfig | None = None,
-                     design="baseline", *, jobs: int | None = None,
-                     cache=None, progress=None, retry=None,
-                     job_timeout: float | None = None,
-                     failures: str = "raise", **sim_kw) -> dict[str, float]:
+def corun_metrics(mix: WorkloadMix, cfg: SystemConfig | None = None,
+                  design="baseline", *, jobs: int | None = None,
+                  cache=None, progress=None, retry=None,
+                  job_timeout: float | None = None,
+                  failures: str = "raise", **sim_kw) -> dict[str, float]:
     """Fig. 2(a) reduction behind :func:`repro.api.corun`."""
     cfg = cfg or default_system()
     if isinstance(design, str):
-        from repro.experiments.sweep import SweepEngine, _sweep_corun
+        from repro.experiments.sweep import SweepEngine, corun_grid
         runner = SweepEngine(workers=jobs, cache=cache, progress=progress,
                              retry=retry, job_timeout=job_timeout,
                              failures=failures)
-        out = _sweep_corun([mix], cfg, design=design, runner=runner,
-                           **sim_kw)
+        out = corun_grid([mix], cfg, design=design, runner=runner,
+                         **sim_kw)
         if mix.name not in out:   # co-run cell failed under "collect"
             return {"slowdown_cpu": float("nan"),
                     "slowdown_gpu": float("nan"),
                     "corun_cycles_cpu": None, "corun_cycles_gpu": None}
         return out[mix.name]
 
-    solo_cpu = (_run_mix(design(), cpu_only(mix), cfg, **sim_kw)
+    solo_cpu = (run_design(design(), cpu_only(mix), cfg, **sim_kw)
                 if mix.cpu_traces else None)
-    solo_gpu = (_run_mix(design(), gpu_only(mix), cfg, **sim_kw)
+    solo_gpu = (run_design(design(), gpu_only(mix), cfg, **sim_kw)
                 if mix.gpu_traces else None)
-    corun = _run_mix(design(), mix, cfg, **sim_kw)
+    corun = run_design(design(), mix, cfg, **sim_kw)
     return slowdown_metrics(corun, solo_cpu, solo_gpu)
 
 
@@ -197,10 +205,10 @@ def corun_slowdowns(mix: WorkloadMix, cfg: SystemConfig | None = None,
     they always run serially in-process.  One-sided mixes (no CPU or no
     GPU agents) skip the missing solo run and report NaN for that class.
     """
-    _deprecated("repro.experiments.runner.corun_slowdowns",
-                "repro.api.corun")
-    return _corun_slowdowns(mix, cfg, design, jobs=jobs, cache=cache,
-                            progress=progress, **sim_kw)
+    warn_deprecated("repro.experiments.runner.corun_slowdowns",
+                    "repro.api.corun")
+    return corun_metrics(mix, cfg, design, jobs=jobs, cache=cache,
+                         progress=progress, **sim_kw)
 
 
 def geomean(values) -> float:
@@ -215,3 +223,13 @@ def build_scaled_mix(name: str, scale: float | None = None,
     """Mix with the global $REPRO_SCALE applied to reference counts."""
     return build_mix(name, scale=scale if scale is not None else env_scale(),
                      **kw)
+
+
+# Pre-PR-9 underscore aliases, kept importable for one release so external
+# callers migrating from the private names keep working; new code (and
+# everything inside src/, enforced by lint rule API02) uses the public
+# names above.
+_deprecated = warn_deprecated
+_run_mix = run_design
+_compare_designs = compare_on_mix
+_corun_slowdowns = corun_metrics

@@ -57,8 +57,8 @@ from repro.experiments.resilience import (JobFailure, RetryPolicy,
                                           SweepReport, failure_from,
                                           resolve_failure_policy,
                                           resolve_retry, time_limit)
-from repro.experiments.runner import (_deprecated, _run_mix,
-                                      slowdown_metrics, weighted_speedup)
+from repro.experiments.runner import (run_design, slowdown_metrics,
+                                      warn_deprecated, weighted_speedup)
 from repro.telemetry import NULL_SINK, Telemetry
 from repro.traces.mixes import (CPU_COPIES, WorkloadMix, build_mix, cpu_only,
                                 gpu_only)
@@ -183,8 +183,8 @@ class SweepJob:
                                    "mix": self.mix_name})
             kw["telemetry"] = sink
         try:
-            return _run_mix(self.design, mix, self.cfg,
-                            native_geometry=self.native_geometry, **kw)
+            return run_design(self.design, mix, self.cfg,
+                              native_geometry=self.native_geometry, **kw)
         finally:
             if sink is not None:
                 sink.close()
@@ -328,7 +328,8 @@ class SweepEngine:
                  progress=None, retry: "RetryPolicy | int | None" = None,
                  job_timeout: float | None = None, failures: str = "raise",
                  degrade_after: int = 3,
-                 telemetry: Telemetry | None = None) -> None:
+                 telemetry: Telemetry | None = None,
+                 on_result=None) -> None:
         self.workers = resolve_workers(workers)
         self.cache: SweepCache | None = resolve_cache(cache)
         self.progress = progress
@@ -340,6 +341,13 @@ class SweepEngine:
                 f"degrade_after must be >= 1, got {degrade_after}")
         self.degrade_after = degrade_after
         self.telemetry = telemetry if telemetry is not None else NULL_SINK
+        #: Optional shard hand-off hook: ``on_result(job, result, dt)``
+        #: fires for every job that resolves — simulated, recalled from
+        #: cache, or harvested after a pool death — as soon as the engine
+        #: sees its result, in completion order.  The campaign server
+        #: streams per-cell rows through this; ``dt`` is 0.0 for cache
+        #: recalls.  Exceptions propagate (the hook is part of the run).
+        self.on_result = on_result
         self.stats = SweepStats(workers=self.workers)
         #: The :class:`SweepReport` of the most recent :meth:`run`.
         self.report: SweepReport | None = None
@@ -371,6 +379,7 @@ class SweepEngine:
         results: dict[SweepJob, SimResult] = {}
         pending: list[SweepJob] = []
         keys: dict[SweepJob, str] = {}
+        run_hits = 0
         for job in ordered:
             if self.cache is not None:
                 key = self.cache.key(job.cache_payload())
@@ -380,6 +389,9 @@ class SweepEngine:
                     results[job] = hit
                     self.stats.cache_hits += 1
                     self.stats.completed += 1
+                    run_hits += 1
+                    if self.on_result is not None:
+                        self.on_result(job, hit, 0.0)
                     continue
                 self.stats.cache_misses += 1
             pending.append(job)
@@ -401,6 +413,8 @@ class SweepEngine:
             self.stats.job_walls[job.label] = dt
             if self.cache is not None:
                 self.cache.put(keys[job], res)
+            if self.on_result is not None:
+                self.on_result(job, res, dt)
             self._say(f"  [{done}/{len(pending)}] {job.label} ({dt:.2f}s)")
 
         attempts = {job: 0 for job in pending}   # completed tries per job
@@ -422,7 +436,8 @@ class SweepEngine:
                            if job in failures),
             retries=counters["retries"], requeued=counters["requeued"],
             pool_restarts=counters["pool_restarts"],
-            degraded=bool(counters["degraded"]))
+            degraded=bool(counters["degraded"]),
+            deduped=len(jobs) - len(ordered), cache_hits=run_hits)
         self.report = report
         if not report.ok or counters["retries"] or counters["pool_restarts"]:
             self._say("sweep: " + report.summary())
@@ -712,15 +727,15 @@ def _name_of(mix) -> str:
     return mix.run_name if isinstance(mix, MixSpec) else mix.name
 
 
-def _sweep_compare(mixes, designs, cfg: SystemConfig | None = None, *,
-                   scale: float = 1.0, seed: int = 7,
-                   native_geometry: bool = True,
-                   runner: SweepEngine | None = None,
-                   workers: int | None = None, cache=None, progress=None,
-                   trace_dir: str | None = None,
-                   retry=None, job_timeout: float | None = None,
-                   failures: str = "raise", sweep_telemetry=None,
-                   **sim_kw) -> dict[str, dict[str, "ComboResult"]]:
+def sweep_grid(mixes, designs, cfg: SystemConfig | None = None, *,
+               scale: float = 1.0, seed: int = 7,
+               native_geometry: bool = True,
+               runner: SweepEngine | None = None,
+               workers: int | None = None, cache=None, progress=None,
+               trace_dir: str | None = None,
+               retry=None, job_timeout: float | None = None,
+               failures: str = "raise", sweep_telemetry=None,
+               **sim_kw) -> dict[str, dict[str, "ComboResult"]]:
     """Grid submission behind :func:`repro.api.sweep`.
 
     ``runner`` is the :class:`SweepEngine`; a simulation-core selector
@@ -779,11 +794,12 @@ def sweep_compare(mixes, designs, cfg: SystemConfig | None = None, *,
     :class:`SweepJob`); workers run with the zero-overhead
     :class:`~repro.telemetry.NullSink` unless it is set.
     """
-    _deprecated("repro.experiments.sweep.sweep_compare", "repro.api.sweep")
-    return _sweep_compare(mixes, designs, cfg, scale=scale, seed=seed,
-                          native_geometry=native_geometry, runner=engine,
-                          workers=workers, cache=cache, progress=progress,
-                          trace_dir=trace_dir, **sim_kw)
+    warn_deprecated("repro.experiments.sweep.sweep_compare",
+                    "repro.api.sweep")
+    return sweep_grid(mixes, designs, cfg, scale=scale, seed=seed,
+                      native_geometry=native_geometry, runner=engine,
+                      workers=workers, cache=cache, progress=progress,
+                      trace_dir=trace_dir, **sim_kw)
 
 
 def _solo_variant(mix, klass: str):
@@ -796,14 +812,14 @@ def _solo_variant(mix, klass: str):
     return cpu_only(mix) if klass == "cpu" else gpu_only(mix)
 
 
-def _sweep_corun(mixes, cfg: SystemConfig | None = None, *,
-                 design: str = "baseline", scale: float = 1.0, seed: int = 7,
-                 runner: SweepEngine | None = None,
-                 workers: int | None = None, cache=None, progress=None,
-                 trace_dir: str | None = None,
-                 retry=None, job_timeout: float | None = None,
-                 failures: str = "raise", sweep_telemetry=None,
-                 **sim_kw) -> dict[str, dict[str, float]]:
+def corun_grid(mixes, cfg: SystemConfig | None = None, *,
+               design: str = "baseline", scale: float = 1.0, seed: int = 7,
+               runner: SweepEngine | None = None,
+               workers: int | None = None, cache=None, progress=None,
+               trace_dir: str | None = None,
+               retry=None, job_timeout: float | None = None,
+               failures: str = "raise", sweep_telemetry=None,
+               **sim_kw) -> dict[str, dict[str, float]]:
     """Solo/co-run batching behind :func:`repro.api.corun`.
 
     Under ``failures="collect"`` a mix whose co-run cell failed is
@@ -856,7 +872,14 @@ def sweep_corun(mixes, cfg: SystemConfig | None = None, *,
     ``{mix_name: slowdown metrics}`` with the same keys/NaN semantics as
     :func:`repro.experiments.runner.corun_slowdowns`.
     """
-    _deprecated("repro.experiments.sweep.sweep_corun", "repro.api.corun")
-    return _sweep_corun(mixes, cfg, design=design, scale=scale, seed=seed,
-                        runner=engine, workers=workers, cache=cache,
-                        progress=progress, trace_dir=trace_dir, **sim_kw)
+    warn_deprecated("repro.experiments.sweep.sweep_corun",
+                    "repro.api.corun")
+    return corun_grid(mixes, cfg, design=design, scale=scale, seed=seed,
+                      runner=engine, workers=workers, cache=cache,
+                      progress=progress, trace_dir=trace_dir, **sim_kw)
+
+
+# Pre-PR-9 underscore aliases (see repro.experiments.runner): importable
+# for one release, banned inside src/ by lint rule API02.
+_sweep_compare = sweep_grid
+_sweep_corun = corun_grid

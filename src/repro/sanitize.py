@@ -314,14 +314,14 @@ def sanitize_compare(*, mix: Any, design: str = "hydrogen",
     with ``divergence`` set pinpoints the first (epoch, channel,
     component) mismatch.  Keyword arguments mirror ``api.simulate``.
     """
-    from repro.api import _coerce_mix
-    from repro.experiments.runner import _run_mix
+    from repro.api import coerce_mix
+    from repro.experiments.runner import run_design
 
-    built = _coerce_mix(mix, scale, seed)
+    built = coerce_mix(mix, scale, seed)
 
     def record(engine: str) -> StateRecorder:
         rec = StateRecorder()
-        _run_mix(design, built, cfg, native_geometry=native_geometry,
+        run_design(design, built, cfg, native_geometry=native_geometry,
                  engine=engine, sanitize=rec, **sim_kw)
         return rec
 

@@ -1,0 +1,162 @@
+"""Blocking convenience client for the campaign server.
+
+Stdlib-only (``http.client`` speaks HTTP/1.1 chunked transfer
+natively), so anything that can import :mod:`repro` can talk to a
+campaign server with no extra dependencies.  Used by the ``repro
+submit`` CLI subcommand, the e2e tests, and ``bench_service.py``; the
+wire vocabulary is :mod:`repro.service.schema` on both sides.
+
+Typical use (docs/service.md has the executed version)::
+
+    client = ServiceClient(port=8642)
+    status = client.submit(CampaignSpec(mixes=("C1",), designs=("hydrogen",)))
+    for row in client.stream(status.job_id):
+        print(row.design, row.mix, row.weighted_speedup)
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Iterator, Mapping
+
+from repro.service.schema import (CampaignSpec, CellRow, JobStatus,
+                                  SchemaError)
+
+
+class ServiceError(RuntimeError):
+    """The server answered with an error, or a stream ended abnormally."""
+
+    def __init__(self, message: str, status: int | None = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceClient:
+    """Blocking HTTP client for one campaign server.
+
+    One short-lived connection per call (the server closes after each
+    response), so a client object is cheap and holds no sockets between
+    calls.  ``timeout`` bounds each socket read — for :meth:`stream`
+    that is the max silence *between* rows, not the total campaign
+    duration.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8642,
+                 timeout: float = 300.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        #: Final :class:`JobStatus` of the most recent :meth:`stream`.
+        self.last_status: JobStatus | None = None
+
+    def _request(self, method: str, path: str, body: Any = None
+                 ) -> http.client.HTTPResponse:
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        payload = None
+        headers = {}
+        if body is not None:
+            payload = json.dumps(body).encode()
+            headers["Content-Type"] = "application/json"
+        try:
+            conn.request(method, path, body=payload, headers=headers)
+            resp = conn.getresponse()
+        except OSError as exc:
+            conn.close()
+            raise ServiceError(
+                f"cannot reach service at {self.host}:{self.port}: "
+                f"{exc}") from exc
+        if resp.status != 200:
+            detail = ""
+            try:
+                detail = json.loads(resp.read().decode() or "{}") \
+                    .get("error", "")
+            except (ValueError, AttributeError):
+                pass
+            conn.close()
+            raise ServiceError(
+                f"{method} {path} -> {resp.status}"
+                + (f": {detail}" if detail else ""), status=resp.status)
+        return resp
+
+    def _json(self, method: str, path: str, body: Any = None) -> Any:
+        resp = self._request(method, path, body)
+        try:
+            return json.loads(resp.read().decode())
+        finally:
+            resp.close()
+
+    def health(self) -> dict[str, Any]:
+        """``GET /v1/health``: liveness, schema version, queue depth."""
+        return self._json("GET", "/v1/health")
+
+    def submit(self, spec: "CampaignSpec | Mapping[str, Any]") -> JobStatus:
+        """Submit a campaign; returns its initial :class:`JobStatus`."""
+        if isinstance(spec, CampaignSpec):
+            spec = spec.to_json()
+        return JobStatus.from_json(self._json("POST", "/v1/campaigns",
+                                              body=dict(spec)))
+
+    def status(self, job_id: str) -> JobStatus:
+        """Poll one campaign's :class:`JobStatus`."""
+        return JobStatus.from_json(
+            self._json("GET", f"/v1/campaigns/{job_id}"))
+
+    def stream(self, job_id: str) -> Iterator[CellRow]:
+        """Yield :class:`CellRow` per resolved cell until the job is done.
+
+        Stored rows replay first, so streaming a finished (or half-
+        finished) job is safe.  The final status line is kept on
+        :attr:`last_status`; the stream ending without one raises
+        :class:`ServiceError` (the campaign outcome would be unknown).
+        """
+        self.last_status = None
+        resp = self._request("GET", f"/v1/campaigns/{job_id}/stream")
+        try:
+            for raw in resp:
+                line = raw.strip()
+                if not line:
+                    continue
+                try:
+                    data = json.loads(line.decode())
+                except ValueError as exc:
+                    raise ServiceError(
+                        f"bad stream line {line[:100]!r}") from exc
+                if data.get("type") == "status":
+                    self.last_status = JobStatus.from_json(data)
+                elif data.get("type") == "row":
+                    yield CellRow.from_json(data)
+                else:
+                    raise SchemaError(
+                        f"unknown stream line type {data.get('type')!r}")
+        finally:
+            resp.close()
+        if self.last_status is None:
+            raise ServiceError(f"stream for {job_id} ended without a "
+                               f"final status line")
+
+    def run(self, spec: "CampaignSpec | Mapping[str, Any]"
+            ) -> tuple[list[CellRow], JobStatus]:
+        """Submit + stream to completion; returns ``(rows, final status)``.
+
+        With the spec's ``failures="raise"`` policy, a campaign that
+        finished with failed cells raises :class:`ServiceError` (the
+        server itself always completes the stream under ``"collect"``).
+        """
+        raise_on_failure = False
+        if isinstance(spec, Mapping):
+            raise_on_failure = spec.get("failures") == "raise"
+        elif isinstance(spec, CampaignSpec):
+            raise_on_failure = spec.failures == "raise"
+        status = self.submit(spec)
+        rows = list(self.stream(status.job_id))
+        final = self.last_status
+        assert final is not None   # stream() raised otherwise
+        if raise_on_failure and final.failures:
+            first = final.failures[0]
+            raise ServiceError(
+                f"campaign {final.job_id}: {len(final.failures)} cell(s) "
+                f"failed; first: {first.get('label')} "
+                f"({first.get('error')})")
+        return rows, final

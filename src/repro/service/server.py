@@ -1,0 +1,601 @@
+"""Asyncio HTTP/JSON campaign server over the sweep engine.
+
+Stdlib-only serving tier (``asyncio`` streams + hand-rolled HTTP/1.1 —
+no new runtime dependencies): clients POST a
+:class:`~repro.service.schema.CampaignSpec`, the server expands it into
+grid cells, deduplicates them against every in-flight and completed
+cell (and, through the content-addressed
+:class:`~repro.experiments.cache.SweepCache`, against previous runs),
+drains them through the weighted-fair
+:class:`~repro.service.queue.FairQueue`, and executes batches on one
+persistent :class:`~repro.experiments.sweep.SweepEngine` — so the
+retry / timeout / chaos semantics of docs/robustness.md apply to
+served campaigns unchanged.  Results stream back as JSONL
+(:class:`~repro.service.schema.CellRow` per line) over chunked
+responses; a polling endpoint serves
+:class:`~repro.service.schema.JobStatus` built from the engine's
+:class:`~repro.experiments.resilience.SweepReport` accounting.
+
+Endpoints (all JSON, see docs/service.md):
+
+* ``GET  /v1/health`` — liveness + schema version.
+* ``POST /v1/campaigns`` — submit a ``CampaignSpec``; returns the
+  initial ``JobStatus`` (with ``job_id``).
+* ``GET  /v1/campaigns/<id>`` — poll a ``JobStatus``.
+* ``GET  /v1/campaigns/<id>/stream`` — chunked JSONL: one
+  ``{"type": "row", ...CellRow...}`` line per resolved cell (stored
+  rows replay first, so late or reconnecting clients lose nothing),
+  then one final ``{"type": "status", ...JobStatus...}`` line.
+
+Concurrency model: one scheduler task serializes engine batches (the
+engine is not reentrant); fairness comes from draining the queue at
+most ``batch_cells`` cells per batch, so an interactive campaign
+arriving behind a heavy one is served in the next batch rather than
+after the whole backlog.  The engine runs in a worker thread
+(``run_in_executor``); per-cell delivery hops back onto the loop via
+``call_soon_threadsafe`` from the engine's ``on_result`` hook.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import threading
+from typing import Any
+
+from repro.config import SystemConfig, default_system
+from repro.engine.simulator import resolve_engine
+from repro.experiments.cache import stable_key
+from repro.experiments.runner import weighted_speedup
+from repro.experiments.sweep import MixSpec, SweepEngine, SweepJob, freeze_kw
+from repro.service.queue import FairQueue
+from repro.service.schema import (SCHEMA_VERSION, CampaignSpec, CellKey,
+                                  CellRow, JobStatus, SchemaError)
+from repro.telemetry import NULL_SINK, Telemetry
+
+#: Default TCP port for ``repro serve`` (0 = ephemeral, used by tests).
+DEFAULT_PORT = 8642
+
+_MAX_HEAD = 64 * 1024
+_MAX_BODY = 8 * 1024 * 1024
+
+
+class _Cell:
+    """One unique simulation unit, shared by every campaign that needs it.
+
+    ``state`` walks queued -> running -> done|failed; ``waiters`` are
+    ``(campaign, CellKey)`` pairs to deliver to on resolution.
+    """
+
+    __slots__ = ("digest", "job", "state", "result", "failure", "waiters")
+
+    def __init__(self, digest: str, job: SweepJob) -> None:
+        self.digest = digest
+        self.job = job
+        self.state = "queued"
+        self.result: Any = None
+        self.failure: dict[str, Any] | None = None
+        self.waiters: list[tuple["_Campaign", CellKey]] = []
+
+
+class _Campaign:
+    """Server-side state of one submitted campaign."""
+
+    def __init__(self, job_id: str, spec: CampaignSpec,
+                 cfg: SystemConfig) -> None:
+        self.job_id = job_id
+        self.spec = spec
+        self.cfg = cfg
+        self.cells = spec.cells()
+        self.done_cells = 0
+        self.deduped = 0
+        self.cache_hits = 0
+        self.started = False
+        self.rows: list[CellRow] = []
+        self.failures: list[dict[str, Any]] = []
+        self.cond = asyncio.Condition()
+        # Per-mix row assembly: a row needs both the cell's own result
+        # and the same-mix baseline (the normalization denominator).
+        self._base: dict[str, Any] = {}          # mix -> baseline SimResult
+        self._base_dead: set[str] = set()        # baseline failed: no rows
+        self._held: dict[str, list[tuple[CellKey, Any]]] = {}
+
+    @property
+    def done(self) -> bool:
+        return self.done_cells >= len(self.cells)
+
+    @property
+    def state(self) -> str:
+        if self.done:
+            return "done"
+        return "running" if self.started else "queued"
+
+    def status(self) -> JobStatus:
+        """Snapshot as the wire-facing :class:`JobStatus`."""
+        return JobStatus(job_id=self.job_id, state=self.state,
+                         total_cells=len(self.cells),
+                         done_cells=self.done_cells, rows=len(self.rows),
+                         deduped=self.deduped, cache_hits=self.cache_hits,
+                         failures=tuple(self.failures))
+
+    # -- cell resolution (loop thread only) -------------------------------
+
+    def resolve(self, key: CellKey, result: Any) -> None:
+        """A cell of this campaign produced a result; emit rows."""
+        self.done_cells += 1
+        if key.design == "baseline":
+            self._base[key.mix] = result
+            self._emit(key, result, result)
+            for held_key, held_res in self._held.pop(key.mix, ()):
+                self._emit(held_key, held_res, result)
+        else:
+            base = self._base.get(key.mix)
+            if base is not None:
+                self._emit(key, result, base)
+            elif key.mix not in self._base_dead:
+                self._held.setdefault(key.mix, []).append((key, result))
+
+    def fail(self, key: CellKey, failure: dict[str, Any]) -> None:
+        """A cell of this campaign exhausted its retries."""
+        self.done_cells += 1
+        self.failures.append(failure)
+        if key.design == "baseline":
+            # No denominator: the mix can produce no rows (matches the
+            # sweep_grid failures="collect" semantics).
+            self._base_dead.add(key.mix)
+            self._held.pop(key.mix, None)
+
+    def _emit(self, key: CellKey, result: Any, base: Any) -> None:
+        combo = weighted_speedup(result, base, self.cfg.weight_cpu,
+                                 self.cfg.weight_gpu)
+        self.rows.append(CellRow.from_combo(key.design, key.mix, combo))
+
+
+class CampaignServer:
+    """The asyncio campaign server (see module docstring).
+
+    ``workers`` / ``cache`` / ``retry`` / ``job_timeout`` are the
+    server-level :class:`~repro.experiments.sweep.SweepEngine` knobs —
+    one engine serves every campaign, always under
+    ``failures="collect"`` so a poisoned cell never kills the stream
+    (a ``failures="raise"`` *spec* is surfaced client-side instead).
+    ``batch_cells`` bounds how many queued cells one engine batch may
+    drain (the fairness granularity); ``weights`` overrides the
+    priority-class weights of :data:`~repro.service.queue.PRIORITIES`.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
+                 workers: int | None = None, cache: Any = None,
+                 retry: Any = None, job_timeout: float | None = None,
+                 batch_cells: int = 32,
+                 weights: dict[str, float] | None = None,
+                 telemetry: Telemetry | None = None,
+                 progress: Any = None) -> None:
+        if batch_cells < 1:
+            raise ValueError(f"batch_cells must be >= 1, got {batch_cells}")
+        self.host = host
+        self._port = port
+        self.cfg = default_system()
+        self.telemetry = telemetry if telemetry is not None else NULL_SINK
+        self.engine = SweepEngine(workers=workers, cache=cache,
+                                  retry=retry, job_timeout=job_timeout,
+                                  failures="collect", telemetry=telemetry,
+                                  progress=progress)
+        self.batch_cells = batch_cells
+        self._queue = FairQueue(weights)
+        self._cells: dict[str, _Cell] = {}
+        self._jobs: dict[str, _Campaign] = {}
+        self._ids = itertools.count(1)
+        self._server: asyncio.AbstractServer | None = None
+        self._stopped: asyncio.Event | None = None
+        self._wake: asyncio.Event | None = None
+        self._task: asyncio.Task | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listening socket and start the scheduler task."""
+        self._wake = asyncio.Event()
+        self._stopped = asyncio.Event()
+        self._server = await asyncio.start_server(self._handle, self.host,
+                                                  self._port)
+        self._task = asyncio.get_running_loop().create_task(
+            self._scheduler())
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (resolves ``port=0`` ephemeral binds)."""
+        assert self._server is not None, "server not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        """Stop accepting, cancel the scheduler, release the socket."""
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._stopped is not None:
+            self._stopped.set()
+
+    async def wait_stopped(self) -> None:
+        """Block until :meth:`stop` completes (used by ``serve``)."""
+        assert self._stopped is not None, "server not started"
+        await self._stopped.wait()
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, spec: CampaignSpec) -> _Campaign:
+        """Register a campaign: dedup its cells, queue the fresh ones.
+
+        Loop-thread only.  Cells whose digest matches an in-flight or
+        completed cell attach as waiters (computed once, streamed to
+        everyone — the ``deduped`` counter observes this); fresh cells
+        are pushed into the fair queue under the spec's priority.
+        ``engine`` never enters the digest (engines are bit-exact), so
+        campaigns dedup across engine choices too.
+        """
+        resolve_engine(spec.engine)
+        camp = _Campaign(f"job-{next(self._ids)}", spec, self.cfg)
+        self._jobs[camp.job_id] = camp
+        sim_kw = freeze_kw({"engine": spec.engine})
+        fresh = 0
+        shared = 0
+        for key in camp.cells:
+            mix = MixSpec(key.mix, scale=spec.scale, seed=spec.seed)
+            job = SweepJob(mix, key.design, self.cfg,
+                           spec.native_geometry, sim_kw, None)
+            digest = stable_key(job.cache_payload())
+            cell = self._cells.get(digest)
+            if cell is None:
+                cell = _Cell(digest, job)
+                self._cells[digest] = cell
+                cell.waiters.append((camp, key))
+                self._queue.push(digest, priority=spec.priority)
+                fresh += 1
+                continue
+            shared += 1
+            camp.deduped += 1
+            if cell.state == "done":
+                camp.resolve(key, cell.result)
+            elif cell.state == "failed":
+                camp.fail(key, dict(cell.failure or {}))
+            else:
+                cell.waiters.append((camp, key))
+        if camp.done_cells:
+            camp.started = True
+        self.telemetry.event("service.queue", job_id=camp.job_id,
+                             priority=spec.priority, cells=len(camp.cells),
+                             fresh=fresh)
+        if shared:
+            self.telemetry.event("service.dedup", job_id=camp.job_id,
+                                 shared=shared, source="memory")
+        if fresh and self._wake is not None:
+            self._wake.set()
+        if camp.done:
+            self._notify(camp)
+        return camp
+
+    # -- scheduling --------------------------------------------------------
+
+    async def _scheduler(self) -> None:
+        """Drain the fair queue, one serialized engine batch at a time."""
+        assert self._wake is not None
+        while True:
+            await self._wake.wait()
+            self._wake.clear()
+            while True:
+                batch: list[_Cell] = []
+                while self._queue and len(batch) < self.batch_cells:
+                    cell = self._cells[self._queue.pop()]
+                    if cell.state != "queued":
+                        continue
+                    cell.state = "running"
+                    batch.append(cell)
+                if not batch:
+                    break
+                for cell in batch:
+                    for camp, _key in cell.waiters:
+                        camp.started = True
+                await self._run_batch(batch)
+
+    async def _run_batch(self, batch: list[_Cell]) -> None:
+        """Run one engine batch in a worker thread; deliver per cell."""
+        loop = asyncio.get_running_loop()
+        by_job = {cell.job: cell for cell in batch}
+
+        def on_result(job: SweepJob, res: Any, dt: float) -> None:
+            # Engine thread -> loop thread; dt == 0.0 marks a cache
+            # recall (the engine never reports 0.0 for a simulated run).
+            loop.call_soon_threadsafe(self._cell_done, by_job[job], res,
+                                      dt == 0.0)
+
+        self.engine.on_result = on_result
+        try:
+            report = await loop.run_in_executor(
+                None, self.engine.run, [cell.job for cell in batch])
+        finally:
+            self.engine.on_result = None
+        for failure in report.failures:
+            cell = by_job.get(failure.job)
+            if cell is not None:
+                self._cell_failed(cell, {
+                    "label": failure.label, "kind": failure.kind,
+                    "error": failure.error, "attempts": failure.attempts})
+        if report.cache_hits:
+            self.telemetry.event("service.dedup", shared=report.cache_hits,
+                                 source="cache")
+
+    def _cell_done(self, cell: _Cell, result: Any, cached: bool) -> None:
+        cell.state = "done"
+        cell.result = result
+        for camp, key in cell.waiters:
+            camp.resolve(key, result)
+            if cached:
+                camp.cache_hits += 1
+            self._notify(camp)
+        cell.waiters.clear()
+        # Late campaigns resolve from cell.result at submit time.
+
+    def _cell_failed(self, cell: _Cell, failure: dict[str, Any]) -> None:
+        cell.state = "failed"
+        cell.failure = failure
+        for camp, key in cell.waiters:
+            camp.fail(key, dict(failure))
+            self._notify(camp)
+        cell.waiters.clear()
+
+    def _notify(self, camp: _Campaign) -> None:
+        async def _wake_streams() -> None:
+            async with camp.cond:
+                camp.cond.notify_all()
+        asyncio.get_running_loop().create_task(_wake_streams())
+
+    # -- HTTP --------------------------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        status = 500
+        method = path = "-"
+        try:
+            method, path, body = await self._read_request(reader)
+            status = await self._route(method, path, body, writer)
+        except _HttpError as exc:
+            status = exc.status
+            await _send_json(writer, exc.status, {"error": exc.detail})
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError,
+                ConnectionError, asyncio.TimeoutError):
+            status = 0   # client went away mid-request; nothing to send
+        except Exception as exc:  # noqa: ROB01 - last-resort 500 boundary
+            try:
+                await _send_json(writer, 500,
+                                 {"error": f"{type(exc).__name__}: {exc}"})
+            except ConnectionError:
+                pass
+        finally:
+            self.telemetry.event("service.request", method=method,
+                                 path=path, status=status)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader
+                            ) -> tuple[str, str, bytes]:
+        head = await reader.readuntil(b"\r\n\r\n")
+        if len(head) > _MAX_HEAD:
+            raise _HttpError(431, "request head too large")
+        lines = head.decode("latin-1").split("\r\n")
+        try:
+            method, target, _version = lines[0].split(" ", 2)
+        except ValueError:
+            raise _HttpError(400, f"bad request line {lines[0]!r}") from None
+        headers = {}
+        for line in lines[1:]:
+            if ":" in line:
+                name, _, value = line.partition(":")
+                headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > _MAX_BODY:
+            raise _HttpError(413, "request body too large")
+        body = await reader.readexactly(length) if length else b""
+        return method, target.split("?", 1)[0], body
+
+    async def _route(self, method: str, path: str, body: bytes,
+                     writer: asyncio.StreamWriter) -> int:
+        if path == "/v1/health":
+            if method != "GET":
+                raise _HttpError(405, f"{method} not allowed")
+            await _send_json(writer, 200, {
+                "ok": True, "schema_version": SCHEMA_VERSION,
+                "jobs": len(self._jobs), "queued_cells": len(self._queue)})
+            return 200
+        if path == "/v1/campaigns":
+            if method != "POST":
+                raise _HttpError(405, f"{method} not allowed")
+            try:
+                data = json.loads(body.decode() or "null")
+                spec = CampaignSpec.from_json(data)
+                camp = self.submit(spec)
+            except (SchemaError, ValueError) as exc:
+                raise _HttpError(400, str(exc)) from None
+            await _send_json(writer, 200, camp.status().to_json())
+            return 200
+        if path.startswith("/v1/campaigns/"):
+            if method != "GET":
+                raise _HttpError(405, f"{method} not allowed")
+            rest = path[len("/v1/campaigns/"):]
+            job_id, _, tail = rest.partition("/")
+            camp = self._jobs.get(job_id)
+            if camp is None or tail not in ("", "stream"):
+                raise _HttpError(404, f"no such resource {path!r}")
+            if tail == "stream":
+                await self._stream(camp, writer)
+                return 200
+            await _send_json(writer, 200, camp.status().to_json())
+            return 200
+        raise _HttpError(404, f"no such resource {path!r}")
+
+    async def _stream(self, camp: _Campaign,
+                      writer: asyncio.StreamWriter) -> None:
+        """Chunked JSONL: replay stored rows, then follow to completion."""
+        writer.write(b"HTTP/1.1 200 OK\r\n"
+                     b"Content-Type: application/jsonl\r\n"
+                     b"Transfer-Encoding: chunked\r\n"
+                     b"Connection: close\r\n\r\n")
+        await writer.drain()
+        sent = 0
+        async with camp.cond:
+            while True:
+                while sent < len(camp.rows):
+                    line = {"type": "row", **camp.rows[sent].to_json()}
+                    await _send_chunk(writer, line)
+                    sent += 1
+                if camp.done:
+                    break
+                await camp.cond.wait()
+            final = {"type": "status", **camp.status().to_json()}
+        await _send_chunk(writer, final)
+        writer.write(b"0\r\n\r\n")
+        await writer.drain()
+
+
+class _HttpError(Exception):
+    """An HTTP error response (status + JSON detail)."""
+
+    def __init__(self, status: int, detail: str) -> None:
+        super().__init__(detail)
+        self.status = status
+        self.detail = detail
+
+
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 413: "Payload Too Large",
+            431: "Request Header Fields Too Large",
+            500: "Internal Server Error"}
+
+
+async def _send_json(writer: asyncio.StreamWriter, status: int,
+                     obj: Any) -> None:
+    payload = json.dumps(obj).encode()
+    reason = _REASONS.get(status, "Error")
+    writer.write(f"HTTP/1.1 {status} {reason}\r\n"
+                 f"Content-Type: application/json\r\n"
+                 f"Content-Length: {len(payload)}\r\n"
+                 f"Connection: close\r\n\r\n".encode())
+    writer.write(payload)
+    await writer.drain()
+
+
+async def _send_chunk(writer: asyncio.StreamWriter, obj: Any) -> None:
+    line = json.dumps(obj).encode() + b"\n"
+    writer.write(f"{len(line):x}\r\n".encode() + line + b"\r\n")
+    await writer.drain()
+
+
+def serve(host: str = "127.0.0.1", port: int = DEFAULT_PORT,
+          **kw: Any) -> None:
+    """Run a campaign server in the foreground (the ``repro serve`` CLI).
+
+    Blocks until interrupted; ``kw`` are :class:`CampaignServer` knobs.
+    """
+    async def _main() -> None:
+        server = CampaignServer(host, port, **kw)
+        await server.start()
+        print(f"repro service listening on http://{host}:{server.port} "
+              f"(schema v{SCHEMA_VERSION})")
+        try:
+            await server.wait_stopped()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass
+
+
+class ServiceHandle:
+    """A campaign server running on a background thread (tests/bench).
+
+    ``base_url`` is the bound address; :meth:`stop` shuts the server
+    down and joins the thread.  Context-manager friendly.
+    """
+
+    def __init__(self, server: CampaignServer,
+                 loop: asyncio.AbstractEventLoop,
+                 thread: threading.Thread) -> None:
+        self.server = server
+        self.loop = loop
+        self.thread = thread
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def stop(self) -> None:
+        """Shut the server down and join its thread."""
+        if self.thread.is_alive():
+            def _stop() -> None:
+                assert self.server._stopped is not None
+                self.server._stopped.set()
+            self.loop.call_soon_threadsafe(_stop)
+            self.thread.join(timeout=30)
+
+    def __enter__(self) -> "ServiceHandle":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+
+def serve_in_thread(**kw: Any) -> ServiceHandle:
+    """Start a :class:`CampaignServer` on a daemon thread.
+
+    Binds an ephemeral port unless ``port=`` says otherwise and returns
+    once the socket is listening.  The in-process path used by the e2e
+    tests, the ``service`` smoke gate, and ``bench_service.py``.
+    """
+    started = threading.Event()
+    box: dict[str, Any] = {}
+
+    def _runner() -> None:
+        async def _main() -> None:
+            server = CampaignServer(**kw)
+            await server.start()
+            box["server"] = server
+            box["loop"] = asyncio.get_running_loop()
+            started.set()
+            try:
+                await server.wait_stopped()
+            finally:
+                await server.stop()
+        try:
+            asyncio.run(_main())
+        except Exception as exc:   # pragma: no cover - startup failure
+            box["error"] = exc
+            started.set()
+
+    thread = threading.Thread(target=_runner, name="repro-service",
+                              daemon=True)
+    thread.start()
+    started.wait(timeout=30)
+    if "error" in box:
+        raise box["error"]
+    if "server" not in box:
+        raise RuntimeError("campaign server failed to start in time")
+    return ServiceHandle(box["server"], box["loop"], thread)

@@ -16,7 +16,7 @@ import numpy as np
 from repro.traces.base import Trace, generate_trace
 from repro.traces.cpu import cpu_spec
 from repro.traces.gpu import gpu_spec
-from repro.traces.mixes import CPU_COPIES, WorkloadMix, _align_region
+from repro.traces.mixes import CPU_COPIES, WorkloadMix, align_region
 
 
 def save_trace(trace: Trace, path: str | Path) -> None:
@@ -96,7 +96,7 @@ def build_custom_mix(spec: str, *, cpu_refs: int = 15_000,
             tr = generate_trace(s, max(1000, int(cpu_refs * scale)),
                                 seed=agent_seed, base=base)
             traces.append(tr)
-            base += _align_region(s.footprint)
+            base += align_region(s.footprint)
             agent_seed += 1
     g = gpu_spec(gpu_name)
     gtr = generate_trace(g, max(500, int(gpu_refs * scale)),

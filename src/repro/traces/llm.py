@@ -253,7 +253,7 @@ def build_llm_mix(name: str, *, cpu_refs: int = 15_000,
     layer/token address arithmetic documented in the module docstring
     holds for every request.
     """
-    from repro.traces.mixes import CPU_COPIES, WorkloadMix, _align_region
+    from repro.traces.mixes import CPU_COPIES, WorkloadMix, align_region
 
     if name not in LLM_MIXES:
         raise KeyError(f"unknown LLM mix {name!r}; known: {LLM_MIX_NAMES}")
@@ -271,7 +271,7 @@ def build_llm_mix(name: str, *, cpu_refs: int = 15_000,
             n = max(1000, int(cpu_refs * scale))
             cpu_traces.append(generate_trace(spec, n, seed=agent_seed,
                                              base=base))
-            base += _align_region(spec.footprint)
+            base += align_region(spec.footprint)
             agent_seed += 1
 
     lspec = llm_spec(llm_name).scaled(footprint_scale)

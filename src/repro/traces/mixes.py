@@ -55,7 +55,7 @@ class WorkloadMix:
         return sum(t.footprint for t in self.traces)
 
 
-def _align_region(footprint: int) -> int:
+def align_region(footprint: int) -> int:
     """Region stride for an agent: footprint rounded up to 1 MB."""
     return (footprint + MB - 1) // MB * MB
 
@@ -96,7 +96,7 @@ def build_mix(name: str, *, cpu_refs: int = 15_000, gpu_refs: int = 150_000,
             n = max(1000, int(cpu_refs * scale))
             tr = generate_trace(spec, n, seed=agent_seed, base=base)
             cpu_traces.append(tr)
-            base += _align_region(spec.footprint)
+            base += align_region(spec.footprint)
             agent_seed += 1
 
     gspec = gpu_spec(gpu_name).scaled(footprint_scale)

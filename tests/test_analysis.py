@@ -18,7 +18,8 @@ from pathlib import Path
 import pytest
 
 from repro.analysis import (ApiUsageRule, DeterminismRule, FloatOrderRule,
-                            MutableDefaultRule, RobustnessRule, Rule,
+                            MutableDefaultRule, PrivateImportRule,
+                            RobustnessRule, Rule,
                             SeedFlowRule, StateIsolationRule,
                             StatsKeyRegistryRule, SweepPicklabilityRule,
                             TelemetryPurityRule, UnusedImportRule,
@@ -274,6 +275,59 @@ def test_api01_noqa_suppression(tmp_path):
     findings = lint_source(tmp_path, """\
         from repro.experiments.sweep import sweep_corun  # noqa: API01
         """, ApiUsageRule(), name="repro/mod.py")
+    assert findings == []
+
+
+def test_api02_cross_module_private_name(tmp_path):
+    findings = lint_source(tmp_path, """\
+        from repro.experiments.sweep import _sweep_compare
+        """, PrivateImportRule(), name="repro/experiments/runner.py")
+    assert [f.rule_id for f in findings] == ["API02"]
+    assert "_sweep_compare" in findings[0].message
+
+
+def test_api02_cross_package_private_module(tmp_path):
+    findings = lint_source(tmp_path, """\
+        from repro.engine._kernels import drain
+        import repro.engine._kernels
+        """, PrivateImportRule(), name="repro/experiments/sweep.py")
+    assert [f.rule_id for f in findings] == ["API02", "API02"]
+    assert "_kernels" in findings[0].message
+
+
+def test_api02_own_package_private_module_is_legal(tmp_path):
+    findings = lint_source(tmp_path, """\
+        from repro.engine import _kernels
+        from repro.engine._kernels import drain
+        """, PrivateImportRule(), name="repro/engine/batch.py")
+    assert findings == []
+
+
+def test_api02_sibling_private_name_is_flagged(tmp_path):
+    # Same *package* is not the same module: sweep reaching into its
+    # sibling runner's privates is exactly the coupling API02 bans.
+    findings = lint_source(tmp_path, """\
+        from repro.experiments.runner import _run_mix
+        """, PrivateImportRule(), name="repro/experiments/sweep.py")
+    assert [f.rule_id for f in findings] == ["API02"]
+
+
+def test_api02_dunders_and_outsiders_are_exempt(tmp_path):
+    inside = lint_source(tmp_path, """\
+        from repro.config import __doc__ as blurb
+        from collections import _tuplegetter
+        """, PrivateImportRule(), name="repro/mod.py")
+    assert inside == []
+    outside = lint_source(tmp_path, """\
+        from repro.experiments.sweep import _sweep_compare
+        """, PrivateImportRule(), name="external/mod.py")
+    assert outside == []
+
+
+def test_api02_noqa_suppression(tmp_path):
+    findings = lint_source(tmp_path, """\
+        from repro.experiments.sweep import _sweep_compare  # noqa: API02
+        """, PrivateImportRule(), name="repro/mod.py")
     assert findings == []
 
 
@@ -537,7 +591,7 @@ def test_rules_by_id_specs():
     assert [type(r) for r in rules_by_id("DET01")] == [DeterminismRule]
     assert [r.rule_id for r in rules_by_id("style")] == [
         "STY01", "STY02", "STY03"]
-    assert len(rules_by_id("all")) == 13
+    assert len(rules_by_id("all")) == 14
     assert [type(r) for r in rules_by_id("seedflow")] == [SeedFlowRule]
     with pytest.raises(ValueError):
         rules_by_id("NOPE99")

@@ -123,7 +123,7 @@ def test_deprecated_simresult_aliases_warn():
 # documented.  Growing the facade means updating this tuple and
 # docs/api.md in the same PR.
 EXPECTED_API = ("simulate", "sweep", "compare", "corun", "SweepResult",
-                "SimResult", "ComboResult", "ENGINES",
+                "SimResult", "ComboResult", "CellRow", "ENGINES",
                 "RetryPolicy", "JobFailure", "SweepReport")
 
 

@@ -1,0 +1,286 @@
+"""End-to-end and unit tests for the campaign service (docs/service.md).
+
+The load-bearing claims, in test form: schema-v1 payloads round-trip
+bit-identically; the weighted-fair queue favors the interactive class
+by its configured weight; an in-process server streams rows that are
+*bit-identical* to ``api.sweep(engine="batch")``; overlapping
+concurrent campaigns share cells (the dedup counter fires); and a
+fault-injected campaign still completes its stream, with the failures
+accounted on the final :class:`~repro.service.schema.JobStatus`.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+import pytest
+
+from repro import api, faults
+from repro.experiments.resilience import SweepReport
+from repro.service import (CampaignSpec, CellKey, CellRow, FairQueue,
+                           JobStatus, PRIORITIES, SchemaError,
+                           ServiceClient, ServiceError)
+from repro.service.schema import CELL_ROW_FIELDS, SCHEMA_VERSION
+from repro.service.server import serve_in_thread
+
+TINY = dict(scale=0.02, seed=7)
+
+
+@pytest.fixture(autouse=True)
+def clean_faults(monkeypatch):
+    """No injector leaks into (or out of) any test."""
+    monkeypatch.delenv(faults.FAULTS_ENV, raising=False)
+    previous = faults.install(None)
+    yield
+    faults.install(previous)
+
+
+# ------------------------------------------------------------- schema v1
+
+def sample_row(**over) -> CellRow:
+    kw = dict(design="waypart", mix="C1", cycles_cpu=123456.5,
+              cycles_gpu=654321.25, speedup_cpu=1.0625,
+              speedup_gpu=0.9375, weighted_speedup=1.015625)
+    kw.update(over)
+    return CellRow(**kw)
+
+
+def test_cell_row_json_round_trip_is_bit_identical():
+    row = sample_row(speedup_cpu=1.0000000000000002)  # non-representable
+    again = CellRow.from_json(row.to_json())
+    assert again == row                       # dataclass eq: bit-exact
+
+
+def test_cell_row_nan_maps_to_none_on_the_wire():
+    row = sample_row(cycles_cpu=None, speedup_cpu=float("nan"))
+    wire = row.to_json()
+    assert wire["cycles_cpu"] is None and wire["speedup_cpu"] is None
+    again = CellRow.from_json(wire)
+    assert math.isnan(again.speedup_cpu)
+    assert again.cycles_cpu is None
+
+
+def test_cell_row_dict_access_warns_but_works():
+    row = sample_row()
+    with pytest.warns(DeprecationWarning, match="attribute access"):
+        assert row["design"] == "waypart"
+    with pytest.warns(DeprecationWarning):
+        assert set(row) == set(CELL_ROW_FIELDS)
+    with pytest.warns(DeprecationWarning):
+        assert row.get("nope", 42) == 42
+    assert "weighted_speedup" in row          # __contains__ stays silent
+    with pytest.raises(KeyError):
+        with pytest.warns(DeprecationWarning):
+            row["not_a_field"]
+
+
+def test_newer_schema_version_is_rejected():
+    wire = sample_row().to_json()
+    wire["schema_version"] = SCHEMA_VERSION + 1
+    with pytest.raises(SchemaError, match="newer"):
+        CellRow.from_json(wire)
+
+
+def test_campaign_spec_round_trip_and_validation():
+    spec = CampaignSpec(mixes=("C1", "C2"), designs=("waypart",),
+                        priority="interactive", **TINY)
+    again = CampaignSpec.from_json(spec.to_json())
+    assert again == spec
+    cells = spec.cells()                      # baseline auto-prepended
+    assert cells[0] == CellKey(mix="C1", design="baseline")
+    assert len(cells) == 4
+    with pytest.raises(SchemaError, match="mixes"):
+        CampaignSpec(mixes=(), designs=("waypart",)).validate()
+    with pytest.raises(SchemaError, match="priority"):
+        CampaignSpec(mixes=("C1",), designs=("waypart",),
+                     priority="vip").validate()
+    with pytest.raises(SchemaError, match="missing"):
+        CampaignSpec.from_json({"mixes": ["C1"]})
+
+
+def test_job_status_round_trip():
+    st = JobStatus(job_id="job-9", state="running", total_cells=6,
+                   done_cells=2, rows=2, deduped=1, cache_hits=1,
+                   failures=({"label": "waypart@C1", "kind": "error",
+                              "error": "boom", "attempts": 2},))
+    again = JobStatus.from_json(st.to_json())
+    assert again == st and not again.ok
+    bad = st.to_json()
+    bad["state"] = "exploded"
+    with pytest.raises(SchemaError, match="state"):
+        JobStatus.from_json(bad)
+
+
+# --------------------------------------------------------- fair queue
+
+def test_fair_queue_is_fifo_within_a_class():
+    q = FairQueue()
+    for item in "abc":
+        q.push(item, priority="batch")
+    assert [q.pop() for _ in range(3)] == list("abc")
+    assert not q and len(q) == 0
+
+
+def test_fair_queue_weights_favor_interactive():
+    q = FairQueue()
+    for i in range(8):
+        q.push(("batch", i), priority="batch")
+    for i in range(8):
+        q.push(("inter", i), priority="interactive")
+    order = [q.pop()[0] for _ in range(8)]
+    # weight 4:1 -> the first 8 slots serve ~4 interactive per batch.
+    ratio = PRIORITIES["interactive"] / PRIORITIES["batch"]
+    assert order.count("inter") >= ratio      # at least its weight share
+
+
+def test_fair_queue_unknown_priority_rejected():
+    q = FairQueue()
+    with pytest.raises(ValueError, match="unknown priority"):
+        q.push("x", priority="vip")
+
+
+# ------------------------------------------------- report dedup counters
+
+def test_sweep_report_carries_dedup_counters():
+    rep = SweepReport({}, deduped=3, cache_hits=2)
+    assert rep.deduped == 3 and rep.cache_hits == 2
+    assert "3 deduped" in rep.summary()
+    assert "2 cache hit(s)" in rep.summary()
+    assert "deduped" not in SweepReport({}).summary()
+
+
+# ---------------------------------------------------------- e2e service
+
+@pytest.fixture(scope="module")
+def service():
+    with serve_in_thread(port=0, workers=1) as handle:
+        yield handle
+
+
+def test_health_endpoint(service):
+    client = ServiceClient(service.host, service.port)
+    health = client.health()
+    assert health["ok"] is True
+    assert health["schema_version"] == SCHEMA_VERSION
+
+
+def test_concurrent_clients_bit_identical_and_deduped(service):
+    """Two overlapping campaigns race; rows match api.sweep bit-for-bit."""
+    spec_a = CampaignSpec(mixes=("C1", "C2"), designs=("waypart",),
+                          engine="batch", **TINY)
+    spec_b = CampaignSpec(mixes=("C1",), designs=("waypart", "hydrogen"),
+                          engine="batch", priority="interactive", **TINY)
+    results: dict[str, tuple] = {}
+
+    def run(tag: str, spec: CampaignSpec) -> None:
+        client = ServiceClient(service.host, service.port)
+        results[tag] = client.run(spec)
+
+    threads = [threading.Thread(target=run, args=("a", spec_a)),
+               threading.Thread(target=run, args=("b", spec_b))]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120)
+    assert set(results) == {"a", "b"}
+
+    rows_a, final_a = results["a"]
+    rows_b, final_b = results["b"]
+    assert final_a.ok and final_b.ok
+    assert final_a.state == final_b.state == "done"
+    assert len(rows_a) == final_a.rows == 4   # baseline+waypart x C1,C2
+    assert len(rows_b) == final_b.rows == 3   # baseline+2 designs x C1
+
+    # The streams must be bit-identical to the in-process facade.
+    ref_a = api.sweep(mixes=["C1", "C2"], designs=("waypart",),
+                      engine="batch", cache=None, **TINY).rows()
+    assert sorted(rows_a, key=lambda r: (r.design, r.mix)) == \
+        sorted(ref_a, key=lambda r: (r.design, r.mix))
+    ref_b = api.sweep(mixes=["C1"], designs=("waypart", "hydrogen"),
+                      engine="batch", cache=None, **TINY).rows()
+    assert sorted(rows_b, key=lambda r: (r.design, r.mix)) == \
+        sorted(ref_b, key=lambda r: (r.design, r.mix))
+
+    # The overlapping cells (baseline@C1, waypart@C1) were computed once
+    # and shared: one of the two campaigns saw a nonzero dedup counter.
+    assert final_a.deduped + final_b.deduped > 0
+
+
+def test_resubmitting_a_finished_campaign_dedups_every_cell(service):
+    spec = CampaignSpec(mixes=("C1",), designs=("waypart",),
+                        engine="batch", **TINY)
+    client = ServiceClient(service.host, service.port)
+    first_rows, _ = client.run(spec)
+    again_rows, final = client.run(spec)
+    assert final.deduped == final.total_cells == 2
+    assert sorted(again_rows, key=lambda r: r.design) == \
+        sorted(first_rows, key=lambda r: r.design)
+
+
+def test_status_polling_and_unknown_job(service):
+    client = ServiceClient(service.host, service.port)
+    status = client.submit(CampaignSpec(mixes=("C1",),
+                                        designs=("waypart",),
+                                        engine="batch", **TINY))
+    assert status.state in ("queued", "running", "done")
+    assert status.total_cells == 2
+    list(client.stream(status.job_id))        # drain to completion
+    done = client.status(status.job_id)
+    assert done.state == "done" and done.done_cells == 2
+    with pytest.raises(ServiceError, match="404"):
+        client.status("job-does-not-exist")
+    with pytest.raises(ServiceError, match="400"):
+        client.submit({"mixes": [], "designs": ["waypart"]})
+
+
+def test_chaos_stream_completes_with_failure_accounting():
+    """Fault-injected campaign: stream still ends, failures accounted."""
+    # Every attempt on waypart cells takes a transient fault; with no
+    # retry budget those cells fail permanently, baseline survives.
+    faults.install("transient:1x9~waypart@seed=0")
+    try:
+        with serve_in_thread(port=0, workers=1) as handle:
+            client = ServiceClient(handle.host, handle.port)
+            spec = CampaignSpec(mixes=("C1",), designs=("waypart",),
+                                engine="fast", failures="collect", **TINY)
+            rows, final = client.run(spec)
+    finally:
+        faults.install(None)
+    assert final.state == "done"              # the stream completed
+    assert [r.design for r in rows] == ["baseline"]
+    assert len(final.failures) == 1
+    failure = final.failures[0]
+    assert failure["label"] == "waypart@C1"
+    assert "transient" in failure["error"]
+    # The same campaign under failures="raise" surfaces client-side.
+    faults.install("transient:1x9~waypart@seed=0")
+    try:
+        with serve_in_thread(port=0, workers=1) as handle:
+            client = ServiceClient(handle.host, handle.port)
+            with pytest.raises(ServiceError, match="waypart@C1"):
+                client.run(CampaignSpec(mixes=("C1",),
+                                        designs=("waypart",),
+                                        engine="fast", failures="raise",
+                                        **TINY))
+    finally:
+        faults.install(None)
+
+
+def test_chaos_with_retry_recovers_bit_identically():
+    """One transient per cell + a retry -> same rows as a clean run."""
+    spec = CampaignSpec(mixes=("C1",), designs=("waypart",),
+                        engine="fast", **TINY)
+    with serve_in_thread(port=0, workers=1) as handle:
+        clean, final = ServiceClient(handle.host, handle.port).run(spec)
+    assert final.ok
+    faults.install("transient:1x1@seed=0")    # first attempt only
+    try:
+        with serve_in_thread(port=0, workers=1, retry=2) as handle:
+            chaos, final = ServiceClient(handle.host,
+                                         handle.port).run(spec)
+    finally:
+        faults.install(None)
+    assert final.ok
+    assert sorted(chaos, key=lambda r: r.design) == \
+        sorted(clean, key=lambda r: r.design)
