@@ -17,6 +17,14 @@ be bit-identical to the in-process facade (the schema-v1 JSON round
 trip is exact), every row must survive ``to_json``/``from_json``, and
 an immediately resubmitted campaign must dedup every cell.
 
+``--recovery`` measures the crash-safety machinery instead (the
+``recovery`` record): the same campaign is run once uninterrupted over
+a write-ahead journal, then again with a graceful drain forced
+mid-campaign followed by a restart that replays the journal and a
+client resume from the last received row — the record carries
+``recovery_overhead`` (interrupted / uninterrupted wall) and asserts
+the recovered rows are bit-identical.
+
 Like ``bench_fastpath.py``: per-repeat wall times are reported as
 min/median/spread and throughput is computed from the min (least
 interference; ratios of mins transfer across machines).  The committed
@@ -35,6 +43,8 @@ import argparse
 import json
 import statistics
 import sys
+import tempfile
+import threading
 import time
 from pathlib import Path
 
@@ -76,11 +86,133 @@ def run_campaigns(handle, spec, repeat):
     return times, rows
 
 
+def time_recovery(spec, repeat):
+    """Uninterrupted vs drain-restart-resume wall times for ``spec``.
+
+    The interrupted path is submit -> first row -> graceful drain
+    (in-flight batch finishes, the rest stays journaled) -> server
+    stop -> fresh server over the same journal (replay) -> client
+    re-attach and stream resume from the last received row.  Returns
+    ``(uninterrupted, interrupted, rows, identical)``.
+    """
+    un, inter, ref_rows = [], [], None
+    identical = True
+    for _ in range(repeat):
+        with tempfile.TemporaryDirectory() as td:
+            t0 = time.perf_counter()
+            with serve_in_thread(port=0, workers=1,
+                                 journal=Path(td) / "journal") as handle:
+                client = ServiceClient(handle.host, handle.port)
+                ref_rows, final = client.run(spec)
+            un.append(time.perf_counter() - t0)
+            assert final.ok, f"campaign failed: {final.failures}"
+        with tempfile.TemporaryDirectory() as td:
+            journal = Path(td) / "journal"
+            t0 = time.perf_counter()
+            handle = serve_in_thread(port=0, workers=1, batch_cells=1,
+                                     journal=journal)
+            client = ServiceClient(handle.host, handle.port)
+            status = client.submit(spec)
+            stream = client.stream(status.job_id)
+            rows = [next(stream)]             # first row landed...
+            threading.Thread(target=handle.drain, daemon=True).start()
+            rows.extend(stream)               # ...drain cuts the rest
+            handle.stop()
+            restarted = serve_in_thread(port=0, workers=1,
+                                        journal=journal)
+            with restarted:
+                again = ServiceClient(restarted.host, restarted.port)
+                again.submit(spec, attach=True)
+                rows.extend(again.stream(status.job_id,
+                                         from_row=len(rows)))
+                final = again.last_status
+            inter.append(time.perf_counter() - t0)
+            identical = identical and final.state == "done" \
+                and sorted(rows, key=row_key) == sorted(ref_rows,
+                                                        key=row_key)
+    return un, inter, ref_rows, identical
+
+
+def check_and_update(args, record_key, record, status):
+    """Shared ``--check`` / ``--update`` tail for every record kind."""
+    if args.check:
+        committed = None
+        if args.out.exists():
+            committed = json.loads(args.out.read_text()).get(record_key)
+        if committed is None:
+            print("bench_service --check: no committed record; nothing "
+                  "to compare")
+        elif any(record.get(k) != committed.get(k)
+                 for k in WORKLOAD_KEYS):
+            print("bench_service --check: committed record has a "
+                  "different workload; nothing to compare")
+        else:
+            old = committed.get("rows_per_s")
+            new = record["rows_per_s"]
+            if old and new < old * (1.0 - args.check_tolerance):
+                print(f"bench_service --check[{record_key}]: rows_per_s "
+                      f"regressed: {new:.1f} measured vs {old:.1f} "
+                      f"committed (> {args.check_tolerance:.0%} drop)",
+                      file=sys.stderr)
+                status = 1
+
+    if args.update:
+        data = {}
+        if args.out.exists():
+            data = json.loads(args.out.read_text())
+        data[record_key] = record
+        args.out.write_text(json.dumps(data, indent=2, sort_keys=True)
+                            + "\n")
+        print(f"bench_service: wrote '{record_key}' -> {args.out.name}")
+    return status
+
+
+def recovery_main(args):
+    """The ``--recovery`` record: kill-restart-resume vs uninterrupted."""
+    mixes, designs = ["C1", "C5"], ("hydrogen",)
+    scale = 0.02 if args.scale is None else args.scale
+    spec = CampaignSpec(mixes=tuple(mixes), designs=designs, scale=scale,
+                        seed=args.seed, engine="batch")
+    un, inter, rows, identical = time_recovery(spec, args.repeat)
+    record = {
+        "mixes": mixes,
+        "designs": list(designs),
+        "scale": scale,
+        "seed": args.seed,
+        "repeat": args.repeat,
+        "cells": len(rows),
+        "uninterrupted_s": {
+            "min": round(min(un), 3),
+            "median": round(statistics.median(un), 3),
+            "spread": round(max(un) - min(un), 3)},
+        "interrupted_s": {
+            "min": round(min(inter), 3),
+            "median": round(statistics.median(inter), 3),
+            "spread": round(max(inter) - min(inter), 3)},
+        "recovery_overhead": round(min(inter) / min(un), 3),
+        "rows_per_s": round(len(rows) / min(inter), 2),
+        "identical": identical,
+    }
+    print(f"bench_service[recovery]: {len(rows)} cells, uninterrupted "
+          f"{min(un):.2f}s, drain+restart+resume {min(inter):.2f}s "
+          f"(overhead x{record['recovery_overhead']:.2f}), "
+          f"identical={identical}")
+    status = 0
+    if not identical:
+        print("bench_service: RECOVERED ROWS != UNINTERRUPTED ROWS",
+              file=sys.stderr)
+        status = 1
+    return check_and_update(args, "recovery", record, status)
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(prog="bench_service",
                                      description=__doc__)
     parser.add_argument("--smoke", action="store_true",
                         help="tiny 4-cell campaign; the 'smoke' record")
+    parser.add_argument("--recovery", action="store_true",
+                        help="measure drain-restart-resume recovery "
+                             "overhead; the 'recovery' record")
     parser.add_argument("--scale", type=float, default=None,
                         help="trace scale (default: 0.2, smoke 0.02)")
     parser.add_argument("--seed", type=int, default=7)
@@ -97,6 +229,9 @@ def main(argv=None):
                              "(default 0.10)")
     parser.add_argument("--out", type=Path, default=OUT)
     args = parser.parse_args(argv)
+
+    if args.recovery:
+        return recovery_main(args)
 
     if args.smoke:
         record_key, mixes, designs = "smoke", ["C1", "C5"], ("hydrogen",)
@@ -176,36 +311,7 @@ def main(argv=None):
               f"{final.total_cells} cells", file=sys.stderr)
         status = 1
 
-    if args.check:
-        committed = None
-        if args.out.exists():
-            committed = json.loads(args.out.read_text()).get(record_key)
-        if committed is None:
-            print("bench_service --check: no committed record; nothing "
-                  "to compare")
-        elif any(record.get(k) != committed.get(k)
-                 for k in WORKLOAD_KEYS):
-            print("bench_service --check: committed record has a "
-                  "different workload; nothing to compare")
-        else:
-            old = committed.get("rows_per_s")
-            new = record["rows_per_s"]
-            if old and new < old * (1.0 - args.check_tolerance):
-                print(f"bench_service --check[{record_key}]: rows_per_s "
-                      f"regressed: {new:.1f} measured vs {old:.1f} "
-                      f"committed (> {args.check_tolerance:.0%} drop)",
-                      file=sys.stderr)
-                status = 1
-
-    if args.update:
-        data = {}
-        if args.out.exists():
-            data = json.loads(args.out.read_text())
-        data[record_key] = record
-        args.out.write_text(json.dumps(data, indent=2, sort_keys=True)
-                            + "\n")
-        print(f"bench_service: wrote '{record_key}' -> {args.out.name}")
-    return status
+    return check_and_update(args, record_key, record, status)
 
 
 if __name__ == "__main__":

@@ -29,6 +29,11 @@ PASS/FAIL/SKIP summary:
   resubmit, plus the throughput regression gate against the committed
   BENCH_service.json (scripts/bench_service.py --smoke --check;
   read-only — the JSON is only rewritten by an explicit ``--update``);
+* ``service-chaos`` — crash-safety proof: run the subprocess chaos
+  harness (tests/test_service_chaos.py), which kills, signals, and
+  drops a real ``repro serve --journal`` process and requires that
+  recovered campaigns stream rows bit-identical to uninterrupted
+  runs (docs/service.md "Operations");
 * ``ruff`` / ``mypy`` — external style and type gates, configured in
   pyproject.toml.  They are optional dependencies (the ``lint`` extra);
   when not installed the gate reports SKIP rather than failing, and the
@@ -74,6 +79,8 @@ GATES: dict[str, list[str]] = {
                  "--engines", "fast,batch", "--scale", "0.02"],
     "service": [sys.executable, "scripts/bench_service.py", "--smoke",
                 "--check", "--check-tolerance", "0.5"],
+    "service-chaos": [sys.executable, "-m", "pytest", "-q",
+                      "tests/test_service_chaos.py"],
     "ruff": [sys.executable, "-m", "ruff", "check",
              "src", "tests", "benchmarks", "scripts", "examples"],
     "mypy": [sys.executable, "-m", "mypy"],

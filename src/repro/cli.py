@@ -527,11 +527,11 @@ def cmd_serve(args) -> int:
     """Run the campaign server in the foreground (docs/service.md)."""
     from repro.service.server import serve
 
-    serve(host=args.host, port=args.port, workers=args.jobs,
-          cache=_resolve_cli_cache(args, default_on=False),
-          retry=args.retries, job_timeout=args.timeout,
-          batch_cells=args.batch_cells)
-    return 0
+    return serve(host=args.host, port=args.port, workers=args.jobs,
+                 cache=_resolve_cli_cache(args, default_on=False),
+                 retry=args.retries, job_timeout=args.timeout,
+                 batch_cells=args.batch_cells, journal=args.journal,
+                 max_queued_cells=args.max_queued_cells)
 
 
 def cmd_submit(args) -> int:
@@ -539,20 +539,35 @@ def cmd_submit(args) -> int:
     from repro.service.client import ServiceClient, ServiceError
     from repro.service.schema import CampaignSpec
 
-    mixes = tuple(m.strip() for m in args.mixes.split(",") if m.strip())
-    designs = tuple(d.strip() for d in
-                    (args.designs or ",".join(FIG5_DESIGNS)).split(",")
-                    if d.strip())
-    spec = CampaignSpec(mixes=mixes, designs=designs, scale=args.scale,
-                        seed=args.seed, engine=args.engine,
-                        priority=args.priority,
-                        failures=("collect" if args.collect_failures
-                                  else "raise"))
-    client = ServiceClient(args.host, args.port, timeout=args.timeout)
+    client = ServiceClient(args.host, args.port, timeout=args.timeout,
+                           retry=args.retries)
     rows = []
     try:
-        status = client.submit(spec)
-        for row in client.stream(status.job_id):
+        if args.resume:
+            job_id = args.resume
+        else:
+            mixes = tuple(m.strip() for m in args.mixes.split(",")
+                          if m.strip())
+            designs = tuple(d.strip() for d in
+                            (args.designs
+                             or ",".join(FIG5_DESIGNS)).split(",")
+                            if d.strip())
+            spec = CampaignSpec(mixes=mixes, designs=designs,
+                                scale=args.scale, seed=args.seed,
+                                engine=args.engine,
+                                priority=args.priority,
+                                failures=("collect"
+                                          if args.collect_failures
+                                          else "raise"))
+            status = client.submit(spec, attach=args.attach)
+            job_id = status.job_id
+            if not args.wait:
+                print(f"campaign {job_id}: {status.state}, "
+                      f"{status.done_cells}/{status.total_cells} cell(s) "
+                      f"done; stream later with "
+                      f"`repro submit --resume {job_id}`")
+                return 0
+        for row in client.stream(job_id):
             rows.append(row)
             if not args.quiet:
                 print(f"{row.design:>12s} x {row.mix:<8s} "
@@ -567,8 +582,15 @@ def cmd_submit(args) -> int:
     print(f"campaign {final.job_id}: {final.rows} row(s), "
           f"{final.deduped} deduped, {final.cache_hits} cache hit(s)")
     if final.failures:
+        # A partially failed campaign must not look like success to
+        # shells and CI wrappers, whatever the failure policy was.
         for f in final.failures:
             print(f"FAILED {f.get('label')}: {f.get('error')}")
+        return 1
+    if final.state != "done":
+        print(f"campaign {final.job_id} incomplete "
+              f"({final.done_cells}/{final.total_cells} cells); resume "
+              f"with `repro submit --resume {final.job_id}`")
         return 1
     return 0
 
@@ -775,6 +797,16 @@ def make_parser() -> argparse.ArgumentParser:
     sp.add_argument("--batch-cells", type=int, default=32, metavar="N",
                     help="max cells drained from the fair queue into one "
                          "engine batch (default 32)")
+    sp.add_argument("--journal", metavar="DIR",
+                    help="write-ahead job journal directory: accepted "
+                         "campaigns and cell outcomes survive a crash; "
+                         "on restart the journal is replayed and "
+                         "unfinished cells re-run (docs/service.md)")
+    sp.add_argument("--max-queued-cells", type=int, default=None,
+                    metavar="N",
+                    help="admission control: reject submissions with "
+                         "429 + Retry-After while N cells are queued "
+                         "(default: unlimited)")
     sp.set_defaults(fn=cmd_serve)
 
     sp = sub.add_parser(
@@ -803,6 +835,21 @@ def make_parser() -> argparse.ArgumentParser:
                     help="also write artifact-style perf rows to PATH")
     sp.add_argument("--quiet", action="store_true",
                     help="suppress per-row progress lines")
+    sp.add_argument("--wait", action=argparse.BooleanOptionalAction,
+                    default=True,
+                    help="--no-wait submits and exits immediately, "
+                         "printing the job id to resume later")
+    sp.add_argument("--resume", metavar="JOB_ID",
+                    help="skip submission; stream an existing campaign "
+                         "(e.g. after --no-wait, or a server restart)")
+    sp.add_argument("--attach", action="store_true",
+                    help="idempotent submit: attach to an existing "
+                         "campaign with the byte-identical spec instead "
+                         "of opening a new one")
+    sp.add_argument("--retries", type=int, default=3, metavar="N",
+                    help="client-side retries for transient service "
+                         "failures: connection errors, 429 queue-full, "
+                         "503 draining, broken streams (default 3)")
     sp.set_defaults(fn=cmd_submit)
 
     sp = sub.add_parser("designs", help="list designs and workloads")

@@ -329,7 +329,7 @@ class SweepEngine:
                  job_timeout: float | None = None, failures: str = "raise",
                  degrade_after: int = 3,
                  telemetry: Telemetry | None = None,
-                 on_result=None) -> None:
+                 on_result=None, on_failure=None) -> None:
         self.workers = resolve_workers(workers)
         self.cache: SweepCache | None = resolve_cache(cache)
         self.progress = progress
@@ -348,6 +348,13 @@ class SweepEngine:
         #: streams per-cell rows through this; ``dt`` is 0.0 for cache
         #: recalls.  Exceptions propagate (the hook is part of the run).
         self.on_result = on_result
+        #: Optional failure hand-off hook: ``on_failure(job, failure)``
+        #: fires the moment a job exhausts its retries (under the
+        #: ``"collect"`` policy), before the run's ``SweepReport`` is
+        #: assembled — the campaign server journals cell failures
+        #: through this so a crash between job exhaustion and report
+        #: delivery cannot lose the outcome.
+        self.on_failure = on_failure
         self.stats = SweepStats(workers=self.workers)
         #: The :class:`SweepReport` of the most recent :meth:`run`.
         self.report: SweepReport | None = None
@@ -684,6 +691,8 @@ class SweepEngine:
                   f"{failure.error}")
         if self.failures == "raise":
             raise exc
+        if self.on_failure is not None:
+            self.on_failure(job, failure)
 
     def _flush_on_interrupt(self, pool, inflight, attempts, outstanding,
                             record) -> None:

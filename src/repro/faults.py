@@ -21,6 +21,19 @@ Fault kinds (``FAULT_KINDS``):
 * ``torn``      — a cache write is truncated after landing, modelling
   a crash or disk-full mid-write; the next read must quarantine it.
 
+Service-level fault kinds (exercised by ``tests/test_service_chaos.py``
+and the ``service-chaos`` gate; see docs/service.md):
+
+* ``kill``      — the campaign *server process* dies abruptly
+  (``os._exit``) right after journaling a cell completion, modelling a
+  crash / OOM-kill / power loss mid-campaign.  Honored only by a
+  server started with ``killable=True`` (the foreground ``repro
+  serve`` process); an in-thread server never kills its host process.
+* ``drop``      — a streaming response connection is severed after a
+  specific row, modelling a flaky network path mid-stream.
+* ``journal``   — a journal append raises ``OSError``, modelling a
+  full or failing disk under the write-ahead job journal.
+
 Activation is either programmatic (:func:`install`) or via the
 ``$REPRO_FAULTS`` environment variable, which child worker processes
 inherit.  The spec grammar (see :meth:`FaultInjector.parse`)::
@@ -49,7 +62,8 @@ from pathlib import Path
 FAULTS_ENV = "REPRO_FAULTS"
 
 #: Recognized fault kinds (see the module docstring).
-FAULT_KINDS = ("crash", "transient", "hang", "torn")
+FAULT_KINDS = ("crash", "transient", "hang", "torn",
+               "kill", "drop", "journal")
 
 #: Exit status used by an injected worker crash (distinctive on purpose).
 CRASH_EXIT_CODE = 43
@@ -254,6 +268,47 @@ def maybe_fault(label: str, attempt: int,
     if inj.should("transient", label, attempt):
         raise InjectedFault(
             f"injected transient fault for {label} (attempt {attempt})")
+
+
+def maybe_kill(key: str, attempt: int = 1) -> None:
+    """Server-crash injection point (after a journaled cell completion).
+
+    Terminates the *whole process* with :data:`CRASH_EXIT_CODE` via
+    ``os._exit`` — no atexit hooks, no flushes: exactly the crash the
+    write-ahead journal must survive.  Callers gate this on running as
+    a dedicated server process (``CampaignServer(killable=True)``); it
+    must never fire inside a test runner's own process.  ``attempt``
+    is the server's journal *generation* (1 on a fresh start, +1 per
+    replay), so a ``kill:1xN`` rule crashes the first N incarnations
+    and then lets the recovered run complete — no crash loops.
+    """
+    inj = active()
+    if inj is not None and inj.should("kill", key, attempt):
+        os._exit(CRASH_EXIT_CODE)
+
+
+def maybe_drop(key: str) -> bool:
+    """Stream-drop injection point: sever this connection now?
+
+    The campaign server consults this after writing each stream row
+    (key ``"<job_id>#row<i>"``), so a selected row deterministically
+    cuts the connection mid-stream — the client's resume path must
+    re-attach and continue from its last received row.
+    """
+    inj = active()
+    return inj is not None and inj.should("drop", key)
+
+
+def maybe_journal_fail(key: str) -> None:
+    """Journal-write injection point: raise ``OSError`` before a write.
+
+    Models a full or failing disk under the write-ahead job journal;
+    the journal must degrade (warn + disable, surfacing data-loss on
+    drain) rather than crash the server.
+    """
+    inj = active()
+    if inj is not None and inj.should("journal", key):
+        raise OSError(f"injected journal write failure for {key!r}")
 
 
 def maybe_tear(path: "str | Path", key: str) -> None:

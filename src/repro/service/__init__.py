@@ -7,12 +7,17 @@ rows, ``perf.csv``, and the wire; :mod:`repro.service.server` is a
 stdlib-only HTTP/1.1 campaign server that shards cells across the
 worker pool, deduplicates identical cells across concurrent clients,
 and streams per-cell rows as JSONL; :mod:`repro.service.queue` adds
-weighted-fair priority queueing; :mod:`repro.service.client` is the
-blocking convenience client behind ``repro serve`` / ``repro submit``.
+weighted-fair priority queueing; :mod:`repro.service.journal` is the
+write-ahead job journal that makes accepted campaigns survive crashes
+and restarts; :mod:`repro.service.health` is the operational
+``/v1/health`` schema; :mod:`repro.service.client` is the blocking,
+retrying convenience client behind ``repro serve`` / ``repro submit``.
 See docs/service.md.
 """
 
 from repro.service.client import ServiceClient, ServiceError
+from repro.service.health import HealthReport
+from repro.service.journal import Journal
 from repro.service.queue import PRIORITIES, FairQueue
 from repro.service.schema import (SCHEMA_VERSION, CampaignSpec, CellKey,
                                   CellRow, JobStatus, SchemaError)
@@ -21,5 +26,5 @@ from repro.service.server import CampaignServer, serve
 __all__ = [
     "SCHEMA_VERSION", "SchemaError", "CampaignSpec", "CellKey", "CellRow",
     "JobStatus", "FairQueue", "PRIORITIES", "CampaignServer", "serve",
-    "ServiceClient", "ServiceError",
+    "ServiceClient", "ServiceError", "Journal", "HealthReport",
 ]

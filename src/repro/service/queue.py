@@ -43,8 +43,9 @@ class FairQueue:
             if w <= 0:
                 raise ValueError(f"weight for {name!r} must be > 0, "
                                  f"got {w}")
-        self._heap: list[tuple[float, int, Any]] = []
+        self._heap: list[tuple[float, int, Any, str]] = []
         self._last_tag = {name: 0.0 for name in self.weights}
+        self._depths: dict[str, int] = {}
         self._vtime = 0.0
         self._seq = 0
 
@@ -62,19 +63,30 @@ class FairQueue:
         start = max(self._vtime, self._last_tag[priority])
         tag = start + size / weight
         self._last_tag[priority] = tag
-        heapq.heappush(self._heap, (tag, self._seq, item))
+        heapq.heappush(self._heap, (tag, self._seq, item, priority))
         self._seq += 1
+        self._depths[priority] = self._depths.get(priority, 0) + 1
         return tag
 
     def pop(self) -> Any:
         """Dequeue the smallest-tagged item; raises on an empty queue."""
         if not self._heap:
             raise IndexError("pop from an empty FairQueue")
-        tag, _seq, item = heapq.heappop(self._heap)
+        tag, _seq, item, priority = heapq.heappop(self._heap)
         # Advance the virtual clock to the served item's start-of-
         # service point so newly-active classes don't jump the line.
         self._vtime = max(self._vtime, tag)
+        self._depths[priority] -= 1
         return item
+
+    def depths(self) -> dict[str, int]:
+        """Queued item count per priority class (health reporting).
+
+        Classes with nothing queued are included at 0, so the shape is
+        stable for dashboards polling ``/v1/health``.
+        """
+        return {name: self._depths.get(name, 0)
+                for name in sorted(self.weights)}
 
     def __len__(self) -> int:
         return len(self._heap)

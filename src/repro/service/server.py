@@ -16,16 +16,35 @@ responses; a polling endpoint serves
 :class:`~repro.service.schema.JobStatus` built from the engine's
 :class:`~repro.experiments.resilience.SweepReport` accounting.
 
+Crash safety (docs/service.md "Operations"): with ``journal=DIR`` the
+server runs over a :class:`~repro.service.journal.Journal` — accepted
+campaigns are journaled *before* they are acknowledged and every cell
+outcome is journaled *before* its row is streamed, so a restarted
+server replays the journal on startup, resolves already-computed cells
+from the journal's result store, re-enqueues the rest, and streams
+rows bit-identical to an uninterrupted run (stream clients resume with
+``?from=N``).  Admission control (``max_queued_cells`` -> 429 +
+``Retry-After``) bounds the backlog, and :meth:`CampaignServer.drain`
+implements graceful shutdown: stop admitting, finish the in-flight
+lock-step batch, flush live streams, exit — with data loss (journal
+disabled, or no journal and unfinished work) surfaced through
+:attr:`CampaignServer.data_loss` and a nonzero ``repro serve`` exit.
+
 Endpoints (all JSON, see docs/service.md):
 
-* ``GET  /v1/health`` — liveness + schema version.
+* ``GET  /v1/health`` — a :class:`~repro.service.health.HealthReport`:
+  drain state, queue depths, in-flight cells, journal lag.
 * ``POST /v1/campaigns`` — submit a ``CampaignSpec``; returns the
-  initial ``JobStatus`` (with ``job_id``).
+  initial ``JobStatus`` (with ``job_id``).  ``?attach=1`` makes the
+  submit idempotent on the spec digest: a byte-identical spec attaches
+  to the existing (possibly journal-recovered) job instead of opening
+  a new one.  429 when the queue is full, 503 while draining.
 * ``GET  /v1/campaigns/<id>`` — poll a ``JobStatus``.
 * ``GET  /v1/campaigns/<id>/stream`` — chunked JSONL: one
   ``{"type": "row", ...CellRow...}`` line per resolved cell (stored
-  rows replay first, so late or reconnecting clients lose nothing),
-  then one final ``{"type": "status", ...JobStatus...}`` line.
+  rows replay first, so late or reconnecting clients lose nothing;
+  ``?from=N`` skips the first N rows for resumption), then one final
+  ``{"type": "status", ...JobStatus...}`` line.
 
 Concurrency model: one scheduler task serializes engine batches (the
 engine is not reentrant); fairness comes from draining the queue at
@@ -33,7 +52,8 @@ most ``batch_cells`` cells per batch, so an interactive campaign
 arriving behind a heavy one is served in the next batch rather than
 after the whole backlog.  The engine runs in a worker thread
 (``run_in_executor``); per-cell delivery hops back onto the loop via
-``call_soon_threadsafe`` from the engine's ``on_result`` hook.
+``call_soon_threadsafe`` from the engine's ``on_result`` /
+``on_failure`` hooks.
 """
 
 from __future__ import annotations
@@ -41,14 +61,21 @@ from __future__ import annotations
 import asyncio
 import itertools
 import json
+import re
+import signal
 import threading
+import urllib.parse
+import warnings
 from typing import Any
 
+from repro import faults
 from repro.config import SystemConfig, default_system
 from repro.engine.simulator import resolve_engine
 from repro.experiments.cache import stable_key
 from repro.experiments.runner import weighted_speedup
 from repro.experiments.sweep import MixSpec, SweepEngine, SweepJob, freeze_kw
+from repro.service.health import HealthReport
+from repro.service.journal import resolve_journal
 from repro.service.queue import FairQueue
 from repro.service.schema import (SCHEMA_VERSION, CampaignSpec, CellKey,
                                   CellRow, JobStatus, SchemaError)
@@ -56,6 +83,9 @@ from repro.telemetry import NULL_SINK, Telemetry
 
 #: Default TCP port for ``repro serve`` (0 = ephemeral, used by tests).
 DEFAULT_PORT = 8642
+
+#: ``Retry-After`` seconds advertised with 429/503 responses.
+RETRY_AFTER = 1
 
 _MAX_HEAD = 64 * 1024
 _MAX_BODY = 8 * 1024 * 1024
@@ -163,6 +193,16 @@ class CampaignServer:
     ``batch_cells`` bounds how many queued cells one engine batch may
     drain (the fairness granularity); ``weights`` overrides the
     priority-class weights of :data:`~repro.service.queue.PRIORITIES`.
+
+    Robustness knobs: ``journal`` (``None`` | directory path |
+    :class:`~repro.service.journal.Journal`) enables the write-ahead
+    job journal — when set and ``cache`` is unset, the engine writes
+    results into the journal's own store so ``done`` records and
+    results share one digest vocabulary.  ``max_queued_cells`` caps
+    the fair-queue backlog (admission control; excess submits get 429).
+    ``killable=True`` (only ever set by the foreground ``repro serve``
+    process) arms the ``kill`` fault-injection point so chaos tests
+    can crash a real server process mid-campaign.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
@@ -170,23 +210,44 @@ class CampaignServer:
                  retry: Any = None, job_timeout: float | None = None,
                  batch_cells: int = 32,
                  weights: dict[str, float] | None = None,
+                 journal: Any = None,
+                 max_queued_cells: int | None = None,
+                 killable: bool = False,
                  telemetry: Telemetry | None = None,
                  progress: Any = None) -> None:
         if batch_cells < 1:
             raise ValueError(f"batch_cells must be >= 1, got {batch_cells}")
+        if max_queued_cells is not None and max_queued_cells < 1:
+            raise ValueError(f"max_queued_cells must be >= 1, "
+                             f"got {max_queued_cells}")
         self.host = host
         self._port = port
         self.cfg = default_system()
         self.telemetry = telemetry if telemetry is not None else NULL_SINK
+        self.journal = resolve_journal(journal)
+        if self.journal is not None and cache is None:
+            cache = self.journal.cache
         self.engine = SweepEngine(workers=workers, cache=cache,
                                   retry=retry, job_timeout=job_timeout,
                                   failures="collect", telemetry=telemetry,
                                   progress=progress)
         self.batch_cells = batch_cells
+        self.max_queued_cells = max_queued_cells
+        self.killable = killable
+        #: Server incarnation over this journal: 1 on a fresh start,
+        #: +1 per restart-with-replay.  Doubles as the ``attempt``
+        #: fed to the ``kill`` fault point, so ``kill:1xN`` crashes
+        #: the first N incarnations and then lets the run complete.
+        self.generation = 1
+        #: True once a drain started: no new admissions, scheduler
+        #: winds down after the in-flight batch.
+        self.draining = False
         self._queue = FairQueue(weights)
         self._cells: dict[str, _Cell] = {}
         self._jobs: dict[str, _Campaign] = {}
+        self._attach: dict[str, str] = {}        # spec digest -> job_id
         self._ids = itertools.count(1)
+        self._active_streams = 0
         self._server: asyncio.AbstractServer | None = None
         self._stopped: asyncio.Event | None = None
         self._wake: asyncio.Event | None = None
@@ -195,9 +256,11 @@ class CampaignServer:
     # -- lifecycle ---------------------------------------------------------
 
     async def start(self) -> None:
-        """Bind the listening socket and start the scheduler task."""
+        """Replay the journal (if any), bind the socket, start scheduling."""
         self._wake = asyncio.Event()
         self._stopped = asyncio.Event()
+        if self.journal is not None:
+            self._replay()
         self._server = await asyncio.start_server(self._handle, self.host,
                                                   self._port)
         self._task = asyncio.get_running_loop().create_task(
@@ -208,6 +271,48 @@ class CampaignServer:
         """The bound TCP port (resolves ``port=0`` ephemeral binds)."""
         assert self._server is not None, "server not started"
         return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def data_loss(self) -> bool:
+        """True iff shutting down now would lose accepted state.
+
+        Unfinished campaigns survive a restart as long as the journal
+        is present and still writable; with no journal — or a journal
+        that had to disable itself after a failed append — any
+        incomplete campaign is gone the moment the process exits.
+        """
+        incomplete = any(not c.done for c in self._jobs.values())
+        if self.journal is not None and not self.journal.disabled:
+            return False
+        return incomplete
+
+    async def drain(self) -> None:
+        """Graceful shutdown: stop admitting, finish in-flight, flush.
+
+        New submissions already get 503 once :attr:`draining` is set;
+        the scheduler exits after the batch it is currently running
+        (cells still queued stay journaled for the next incarnation),
+        live streams are woken to emit their final status line, and
+        the listening socket closes once they have flushed.
+        """
+        if self.draining:
+            return
+        self.draining = True
+        if self._wake is not None:
+            self._wake.set()
+        if self._task is not None:
+            await self._task
+        for camp in self._jobs.values():
+            self._notify(camp)
+        while self._active_streams:
+            await asyncio.sleep(0.05)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        incomplete = sum(1 for c in self._jobs.values() if not c.done)
+        self.telemetry.event("service.drain", jobs=len(self._jobs),
+                             incomplete=incomplete,
+                             data_loss=self.data_loss)
 
     async def stop(self) -> None:
         """Stop accepting, cancel the scheduler, release the socket."""
@@ -220,6 +325,8 @@ class CampaignServer:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        if self.journal is not None:
+            self.journal.close()
         if self._stopped is not None:
             self._stopped.set()
 
@@ -228,9 +335,76 @@ class CampaignServer:
         assert self._stopped is not None, "server not started"
         await self._stopped.wait()
 
+    # -- journal replay ----------------------------------------------------
+
+    def _replay(self) -> None:
+        """Reconstruct server state from the journal (loop thread).
+
+        A deterministic event replay: ``campaign`` records re-register
+        (and re-enqueue) in admission order, ``done`` / ``failed``
+        records then resolve cells in their original completion order —
+        so each campaign's row list is rebuilt in exactly the order an
+        uninterrupted server streamed it, which is what makes
+        ``?from=N`` stream resumption valid across restarts.  A
+        ``done`` record whose result is missing from the result store
+        (torn entry, cleared cache) is simply ignored: the cell stays
+        queued and is recomputed bit-identically.
+        """
+        assert self.journal is not None
+        records = self.journal.replay()
+        top = 0
+        campaigns = recovered = 0
+        for rec in records:
+            kind = rec.get("type")
+            if kind == "restart":
+                self.generation += 1
+            elif kind == "campaign":
+                try:
+                    job_id = str(rec["job_id"])
+                    spec = CampaignSpec.from_json(rec["spec"])
+                    self.submit(spec, job_id=job_id, journal=False)
+                except (SchemaError, KeyError, ValueError) as exc:
+                    warnings.warn(
+                        f"journal replay: dropping unreadable campaign "
+                        f"record ({type(exc).__name__}: {exc})",
+                        RuntimeWarning, stacklevel=2)
+                    continue
+                m = re.fullmatch(r"job-(\d+)", job_id)
+                if m:
+                    top = max(top, int(m.group(1)))
+                campaigns += 1
+            elif kind in ("done", "failed"):
+                cell = self._cells.get(str(rec.get("digest", "")))
+                if cell is None or cell.state not in ("queued", "running"):
+                    continue
+                if kind == "failed":
+                    self._cell_failed(cell, dict(rec.get("failure") or {}),
+                                      journal=False)
+                    recovered += 1
+                    continue
+                result = self.journal.cache.get(cell.digest)
+                if result is None:
+                    continue               # result store miss: recompute
+                self._cell_done(cell, result, True, journal=False)
+                recovered += 1
+        self._ids = itertools.count(top + 1)
+        if records:
+            # Prior incarnations = 1 fresh start + one restart record
+            # per replaying startup before this one; we are the next.
+            self.generation += 1
+            self.journal.restart()
+            requeued = sum(1 for c in self._cells.values()
+                           if c.state == "queued")
+            self.telemetry.event("service.replay", campaigns=campaigns,
+                                 recovered=recovered, requeued=requeued,
+                                 generation=self.generation)
+            if self._wake is not None and requeued:
+                self._wake.set()
+
     # -- submission --------------------------------------------------------
 
-    def submit(self, spec: CampaignSpec) -> _Campaign:
+    def submit(self, spec: CampaignSpec, *, job_id: str | None = None,
+               journal: bool = True) -> _Campaign:
         """Register a campaign: dedup its cells, queue the fresh ones.
 
         Loop-thread only.  Cells whose digest matches an in-flight or
@@ -239,10 +413,20 @@ class CampaignServer:
         are pushed into the fair queue under the spec's priority.
         ``engine`` never enters the digest (engines are bit-exact), so
         campaigns dedup across engine choices too.
+
+        With a journal, the acceptance is write-ahead: the campaign
+        record is durable *before* any state is built, so a crash at
+        any later point can only lose work the journal already names.
+        ``job_id`` / ``journal=False`` are the replay path re-admitting
+        an already-journaled campaign under its original id.
         """
         resolve_engine(spec.engine)
-        camp = _Campaign(f"job-{next(self._ids)}", spec, self.cfg)
+        jid = job_id if job_id is not None else f"job-{next(self._ids)}"
+        if journal and self.journal is not None:
+            self.journal.campaign(jid, spec.to_json())
+        camp = _Campaign(jid, spec, self.cfg)
         self._jobs[camp.job_id] = camp
+        self._attach.setdefault(stable_key(spec.to_json()), camp.job_id)
         sim_kw = freeze_kw({"engine": spec.engine})
         fresh = 0
         shared = 0
@@ -289,7 +473,7 @@ class CampaignServer:
         while True:
             await self._wake.wait()
             self._wake.clear()
-            while True:
+            while not self.draining:
                 batch: list[_Cell] = []
                 while self._queue and len(batch) < self.batch_cells:
                     cell = self._cells[self._queue.pop()]
@@ -303,6 +487,8 @@ class CampaignServer:
                     for camp, _key in cell.waiters:
                         camp.started = True
                 await self._run_batch(batch)
+            if self.draining:
+                return
 
     async def _run_batch(self, batch: list[_Cell]) -> None:
         """Run one engine batch in a worker thread; deliver per cell."""
@@ -315,12 +501,21 @@ class CampaignServer:
             loop.call_soon_threadsafe(self._cell_done, by_job[job], res,
                                       dt == 0.0)
 
+        def on_failure(job: SweepJob, failure: Any) -> None:
+            loop.call_soon_threadsafe(self._cell_failed, by_job[job], {
+                "label": failure.label, "kind": failure.kind,
+                "error": failure.error, "attempts": failure.attempts})
+
         self.engine.on_result = on_result
+        self.engine.on_failure = on_failure
         try:
             report = await loop.run_in_executor(
                 None, self.engine.run, [cell.job for cell in batch])
         finally:
             self.engine.on_result = None
+            self.engine.on_failure = None
+        # Belt and braces: _cell_failed is idempotent (state guard), so
+        # re-walking the report only catches hook-less edge cases.
         for failure in report.failures:
             cell = by_job.get(failure.job)
             if cell is not None:
@@ -331,9 +526,19 @@ class CampaignServer:
             self.telemetry.event("service.dedup", shared=report.cache_hits,
                                  source="cache")
 
-    def _cell_done(self, cell: _Cell, result: Any, cached: bool) -> None:
+    def _cell_done(self, cell: _Cell, result: Any, cached: bool,
+                   journal: bool = True) -> None:
+        if cell.state not in ("queued", "running"):
+            return
         cell.state = "done"
         cell.result = result
+        if journal and self.journal is not None:
+            # Durable before visible: the row may only reach a stream
+            # after the outcome would survive a crash right here...
+            self.journal.done(cell.digest)
+        if journal and self.killable:
+            # ...which is exactly where the kill fault point proves it.
+            faults.maybe_kill(cell.job.label, self.generation)
         for camp, key in cell.waiters:
             camp.resolve(key, result)
             if cached:
@@ -342,9 +547,14 @@ class CampaignServer:
         cell.waiters.clear()
         # Late campaigns resolve from cell.result at submit time.
 
-    def _cell_failed(self, cell: _Cell, failure: dict[str, Any]) -> None:
+    def _cell_failed(self, cell: _Cell, failure: dict[str, Any],
+                     journal: bool = True) -> None:
+        if cell.state not in ("queued", "running"):
+            return
         cell.state = "failed"
         cell.failure = failure
+        if journal and self.journal is not None:
+            self.journal.failed(cell.digest, failure)
         for camp, key in cell.waiters:
             camp.fail(key, dict(failure))
             self._notify(camp)
@@ -363,11 +573,12 @@ class CampaignServer:
         status = 500
         method = path = "-"
         try:
-            method, path, body = await self._read_request(reader)
-            status = await self._route(method, path, body, writer)
+            method, path, query, body = await self._read_request(reader)
+            status = await self._route(method, path, query, body, writer)
         except _HttpError as exc:
             status = exc.status
-            await _send_json(writer, exc.status, {"error": exc.detail})
+            await _send_json(writer, exc.status, {"error": exc.detail},
+                             headers=exc.headers)
         except (asyncio.IncompleteReadError, asyncio.LimitOverrunError,
                 ConnectionError, asyncio.TimeoutError):
             status = 0   # client went away mid-request; nothing to send
@@ -387,7 +598,7 @@ class CampaignServer:
                 pass
 
     async def _read_request(self, reader: asyncio.StreamReader
-                            ) -> tuple[str, str, bytes]:
+                            ) -> tuple[str, str, str, bytes]:
         head = await reader.readuntil(b"\r\n\r\n")
         if len(head) > _MAX_HEAD:
             raise _HttpError(431, "request head too large")
@@ -405,28 +616,22 @@ class CampaignServer:
         if length > _MAX_BODY:
             raise _HttpError(413, "request body too large")
         body = await reader.readexactly(length) if length else b""
-        return method, target.split("?", 1)[0], body
+        path, _, query = target.partition("?")
+        return method, path, query, body
 
-    async def _route(self, method: str, path: str, body: bytes,
+    async def _route(self, method: str, path: str, query: str, body: bytes,
                      writer: asyncio.StreamWriter) -> int:
+        params = urllib.parse.parse_qs(query)
         if path == "/v1/health":
             if method != "GET":
                 raise _HttpError(405, f"{method} not allowed")
-            await _send_json(writer, 200, {
-                "ok": True, "schema_version": SCHEMA_VERSION,
-                "jobs": len(self._jobs), "queued_cells": len(self._queue)})
+            report = HealthReport.from_server(self)
+            await _send_json(writer, 200, report.to_json())
             return 200
         if path == "/v1/campaigns":
             if method != "POST":
                 raise _HttpError(405, f"{method} not allowed")
-            try:
-                data = json.loads(body.decode() or "null")
-                spec = CampaignSpec.from_json(data)
-                camp = self.submit(spec)
-            except (SchemaError, ValueError) as exc:
-                raise _HttpError(400, str(exc)) from None
-            await _send_json(writer, 200, camp.status().to_json())
-            return 200
+            return await self._route_submit(params, body, writer)
         if path.startswith("/v1/campaigns/"):
             if method != "GET":
                 raise _HttpError(405, f"{method} not allowed")
@@ -436,58 +641,124 @@ class CampaignServer:
             if camp is None or tail not in ("", "stream"):
                 raise _HttpError(404, f"no such resource {path!r}")
             if tail == "stream":
-                await self._stream(camp, writer)
+                start = _int_param(params, "from", 0)
+                await self._stream(camp, writer, start=start)
                 return 200
             await _send_json(writer, 200, camp.status().to_json())
             return 200
         raise _HttpError(404, f"no such resource {path!r}")
 
-    async def _stream(self, camp: _Campaign,
-                      writer: asyncio.StreamWriter) -> None:
-        """Chunked JSONL: replay stored rows, then follow to completion."""
-        writer.write(b"HTTP/1.1 200 OK\r\n"
-                     b"Content-Type: application/jsonl\r\n"
-                     b"Transfer-Encoding: chunked\r\n"
-                     b"Connection: close\r\n\r\n")
-        await writer.drain()
-        sent = 0
-        async with camp.cond:
-            while True:
-                while sent < len(camp.rows):
-                    line = {"type": "row", **camp.rows[sent].to_json()}
-                    await _send_chunk(writer, line)
-                    sent += 1
-                if camp.done:
-                    break
-                await camp.cond.wait()
-            final = {"type": "status", **camp.status().to_json()}
-        await _send_chunk(writer, final)
-        writer.write(b"0\r\n\r\n")
-        await writer.drain()
+    async def _route_submit(self, params: dict[str, list[str]],
+                            body: bytes,
+                            writer: asyncio.StreamWriter) -> int:
+        try:
+            data = json.loads(body.decode() or "null")
+            spec = CampaignSpec.from_json(data)
+        except (SchemaError, ValueError) as exc:
+            raise _HttpError(400, str(exc)) from None
+        if params.get("attach", ["0"])[-1] not in ("", "0"):
+            # Idempotent resubmission: a byte-identical spec attaches
+            # to the live (or journal-recovered) job instead of
+            # recomputing.  Read-only, so it works even while draining.
+            jid = self._attach.get(stable_key(spec.to_json()))
+            if jid is not None:
+                await _send_json(writer, 200,
+                                 self._jobs[jid].status().to_json())
+                return 200
+        if self.draining:
+            raise _HttpError(
+                503, "server is draining; retry against its successor",
+                headers={"Retry-After": str(RETRY_AFTER)})
+        if (self.max_queued_cells is not None
+                and len(self._queue) >= self.max_queued_cells):
+            raise _HttpError(
+                429, f"queue full ({len(self._queue)} cells queued, "
+                     f"limit {self.max_queued_cells}); retry later",
+                headers={"Retry-After": str(RETRY_AFTER)})
+        try:
+            camp = self.submit(spec)
+        except ValueError as exc:
+            raise _HttpError(400, str(exc)) from None
+        await _send_json(writer, 200, camp.status().to_json())
+        return 200
+
+    async def _stream(self, camp: _Campaign, writer: asyncio.StreamWriter,
+                      start: int = 0) -> None:
+        """Chunked JSONL: replay stored rows, then follow to completion.
+
+        ``start`` skips rows a resuming client already holds.  A drain
+        unblocks the wait and sends the final (possibly non-``done``)
+        status so clients know to reconnect to the next incarnation.
+        """
+        self._active_streams += 1
+        try:
+            writer.write(b"HTTP/1.1 200 OK\r\n"
+                         b"Content-Type: application/jsonl\r\n"
+                         b"Transfer-Encoding: chunked\r\n"
+                         b"Connection: close\r\n\r\n")
+            await writer.drain()
+            sent = start
+            async with camp.cond:
+                while True:
+                    while sent < len(camp.rows):
+                        line = {"type": "row", **camp.rows[sent].to_json()}
+                        await _send_chunk(writer, line)
+                        if faults.maybe_drop(f"{camp.job_id}#row{sent}"):
+                            # Injected network failure: sever the
+                            # connection mid-stream, no final status.
+                            writer.transport.abort()
+                            return
+                        sent += 1
+                    if camp.done or self.draining:
+                        break
+                    await camp.cond.wait()
+                final = {"type": "status", **camp.status().to_json()}
+            await _send_chunk(writer, final)
+            writer.write(b"0\r\n\r\n")
+            await writer.drain()
+        finally:
+            self._active_streams -= 1
 
 
 class _HttpError(Exception):
-    """An HTTP error response (status + JSON detail)."""
+    """An HTTP error response (status + JSON detail + extra headers)."""
 
-    def __init__(self, status: int, detail: str) -> None:
+    def __init__(self, status: int, detail: str,
+                 headers: dict[str, str] | None = None) -> None:
         super().__init__(detail)
         self.status = status
         self.detail = detail
+        self.headers = headers
+
+
+def _int_param(params: dict[str, list[str]], name: str,
+               default: int) -> int:
+    raw = params.get(name, [str(default)])[-1]
+    try:
+        value = int(raw or default)
+    except ValueError:
+        raise _HttpError(400, f"bad {name!r} parameter {raw!r}") from None
+    if value < 0:
+        raise _HttpError(400, f"{name!r} must be >= 0, got {value}")
+    return value
 
 
 _REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
             405: "Method Not Allowed", 413: "Payload Too Large",
+            429: "Too Many Requests",
             431: "Request Header Fields Too Large",
-            500: "Internal Server Error"}
+            500: "Internal Server Error", 503: "Service Unavailable"}
 
 
-async def _send_json(writer: asyncio.StreamWriter, status: int,
-                     obj: Any) -> None:
+async def _send_json(writer: asyncio.StreamWriter, status: int, obj: Any,
+                     headers: dict[str, str] | None = None) -> None:
     payload = json.dumps(obj).encode()
     reason = _REASONS.get(status, "Error")
+    extra = "".join(f"{k}: {v}\r\n" for k, v in (headers or {}).items())
     writer.write(f"HTTP/1.1 {status} {reason}\r\n"
                  f"Content-Type: application/json\r\n"
                  f"Content-Length: {len(payload)}\r\n"
+                 f"{extra}"
                  f"Connection: close\r\n\r\n".encode())
     writer.write(payload)
     await writer.drain()
@@ -500,32 +771,66 @@ async def _send_chunk(writer: asyncio.StreamWriter, obj: Any) -> None:
 
 
 def serve(host: str = "127.0.0.1", port: int = DEFAULT_PORT,
-          **kw: Any) -> None:
+          **kw: Any) -> int:
     """Run a campaign server in the foreground (the ``repro serve`` CLI).
 
-    Blocks until interrupted; ``kw`` are :class:`CampaignServer` knobs.
+    Blocks until stopped; ``kw`` are :class:`CampaignServer` knobs
+    (``killable`` defaults to True here — this is the dedicated server
+    process the ``kill`` fault point may crash).  SIGTERM / SIGINT
+    trigger a graceful drain: stop admitting, finish the in-flight
+    batch, flush streams, close.  Returns the process exit code —
+    nonzero only when shutting down lost accepted state
+    (:attr:`CampaignServer.data_loss`).
     """
+    kw.setdefault("killable", True)
+    box: dict[str, Any] = {}
+
     async def _main() -> None:
         server = CampaignServer(host, port, **kw)
         await server.start()
+        box["server"] = server
         print(f"repro service listening on http://{host}:{server.port} "
-              f"(schema v{SCHEMA_VERSION})")
+              f"(schema v{SCHEMA_VERSION})", flush=True)
+        loop = asyncio.get_running_loop()
+        interrupted = asyncio.Event()
+        hooked = []
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, interrupted.set)
+                hooked.append(sig)
+            except (NotImplementedError, RuntimeError):
+                pass   # platform without loop signal support
+        waiters = [loop.create_task(server.wait_stopped()),
+                   loop.create_task(interrupted.wait())]
         try:
-            await server.wait_stopped()
+            await asyncio.wait(waiters,
+                               return_when=asyncio.FIRST_COMPLETED)
+            if interrupted.is_set():
+                print("repro service draining (finishing in-flight "
+                      "batches)...", flush=True)
+            await server.drain()
         finally:
+            for task in waiters:
+                task.cancel()
+            await asyncio.gather(*waiters, return_exceptions=True)
+            for sig in hooked:
+                loop.remove_signal_handler(sig)
             await server.stop()
 
     try:
         asyncio.run(_main())
     except KeyboardInterrupt:
-        pass
+        pass   # platforms where SIGINT could not be hooked
+    server = box.get("server")
+    return 1 if server is not None and server.data_loss else 0
 
 
 class ServiceHandle:
     """A campaign server running on a background thread (tests/bench).
 
     ``base_url`` is the bound address; :meth:`stop` shuts the server
-    down and joins the thread.  Context-manager friendly.
+    down and joins the thread, recording whether that succeeded in
+    :attr:`stopped_cleanly`.  Context-manager friendly.
     """
 
     def __init__(self, server: CampaignServer,
@@ -534,6 +839,9 @@ class ServiceHandle:
         self.server = server
         self.loop = loop
         self.thread = thread
+        #: False once :meth:`stop` timed out joining the server thread
+        #: (the thread is leaked, not silently forgotten).
+        self.stopped_cleanly = True
 
     @property
     def host(self) -> str:
@@ -547,14 +855,35 @@ class ServiceHandle:
     def base_url(self) -> str:
         return f"http://{self.host}:{self.port}"
 
-    def stop(self) -> None:
-        """Shut the server down and join its thread."""
+    def drain(self, timeout: float = 60.0) -> None:
+        """Run a graceful drain on the server loop and wait for it."""
+        fut = asyncio.run_coroutine_threadsafe(self.server.drain(),
+                                               self.loop)
+        fut.result(timeout=timeout)
+
+    def stop(self, timeout: float = 30.0) -> bool:
+        """Shut the server down and join its thread.
+
+        Returns ``True`` when the thread exited within ``timeout``;
+        on a timeout the (daemon) thread is left running, a warning
+        names it, and :attr:`stopped_cleanly` flips False — callers
+        that care (CI teardown, benchmarks) can fail loudly instead
+        of silently leaking an engine thread per iteration.
+        """
         if self.thread.is_alive():
             def _stop() -> None:
                 assert self.server._stopped is not None
                 self.server._stopped.set()
             self.loop.call_soon_threadsafe(_stop)
-            self.thread.join(timeout=30)
+            self.thread.join(timeout=timeout)
+            if self.thread.is_alive():
+                self.stopped_cleanly = False
+                warnings.warn(
+                    f"campaign server thread {self.thread.name!r} did "
+                    f"not stop within {timeout:.0f}s; leaking a daemon "
+                    f"thread (in-flight engine batch still running?)",
+                    RuntimeWarning, stacklevel=2)
+        return self.stopped_cleanly
 
     def __enter__(self) -> "ServiceHandle":
         return self

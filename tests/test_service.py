@@ -11,18 +11,21 @@ accounted on the final :class:`~repro.service.schema.JobStatus`.
 
 from __future__ import annotations
 
+import asyncio
 import math
 import threading
+import types
 
 import pytest
 
 from repro import api, faults
 from repro.experiments.resilience import SweepReport
 from repro.service import (CampaignSpec, CellKey, CellRow, FairQueue,
-                           JobStatus, PRIORITIES, SchemaError,
-                           ServiceClient, ServiceError)
+                           HealthReport, JobStatus, Journal, PRIORITIES,
+                           SchemaError, ServiceClient, ServiceError)
 from repro.service.schema import CELL_ROW_FIELDS, SCHEMA_VERSION
-from repro.service.server import serve_in_thread
+from repro.service.journal import resolve_journal
+from repro.service.server import ServiceHandle, serve_in_thread
 
 TINY = dict(scale=0.02, seed=7)
 
@@ -150,6 +153,81 @@ def test_sweep_report_carries_dedup_counters():
     assert "deduped" not in SweepReport({}).summary()
 
 
+# ------------------------------------------------------------- journal
+
+def test_journal_append_and_replay_round_trip(tmp_path):
+    with Journal(tmp_path / "j") as j:
+        assert j.campaign("job-1", {"mixes": ["C1"]})
+        assert j.done("digest-a")
+        assert j.failed("digest-b", {"label": "x@C1", "kind": "error",
+                                     "error": "boom", "attempts": 2})
+        assert j.appended == 3
+    records = Journal(tmp_path / "j").replay()
+    assert [r["type"] for r in records] == ["campaign", "done", "failed"]
+    assert all(r["schema_version"] == SCHEMA_VERSION for r in records)
+    assert records[0]["job_id"] == "job-1"
+    assert records[2]["failure"]["error"] == "boom"
+
+
+def test_journal_quarantines_a_torn_tail(tmp_path):
+    j = Journal(tmp_path / "j")
+    j.campaign("job-1", {"mixes": ["C1"]})
+    j.done("digest-a")
+    j.close()
+    blob = j.path.read_bytes()
+    j.path.write_bytes(blob + b'{"type": "done", "dig')   # crash mid-append
+    j2 = Journal(tmp_path / "j")
+    with pytest.warns(RuntimeWarning, match="torn tail"):
+        records = j2.replay()
+    assert [r["type"] for r in records] == ["campaign", "done"]
+    assert j2.quarantined == 1
+    assert j2.path.read_bytes() == blob       # truncated back to intact
+    # ...and a fresh replay of the repaired file is quiet and complete.
+    assert len(Journal(tmp_path / "j").replay()) == 2
+
+
+def test_journal_newer_schema_is_rejected_and_unknown_type_skipped(
+        tmp_path):
+    j = Journal(tmp_path / "j")
+    j.append({"type": "campaign", "job_id": "job-1", "spec": {}})
+    j.append({"type": "lease", "who": "future-feature"})
+    j.close()
+    with pytest.warns(RuntimeWarning, match="unknown record type"):
+        records = Journal(tmp_path / "j").replay()
+    assert [r["type"] for r in records] == ["campaign"]
+    bad = Journal(tmp_path / "bad")
+    bad.append({"type": "done", "digest": "d",
+                "schema_version": SCHEMA_VERSION})
+    bad.close()
+    blob = bad.path.read_bytes().replace(
+        f'"schema_version": {SCHEMA_VERSION}'.encode(),
+        f'"schema_version": {SCHEMA_VERSION + 1}'.encode())
+    bad.path.write_bytes(blob)
+    with pytest.raises(SchemaError, match="newer"):
+        Journal(tmp_path / "bad").replay()
+
+
+def test_journal_write_failure_warns_once_and_disables(tmp_path):
+    faults.install("journal:1x9@seed=0")      # every append raises OSError
+    try:
+        j = Journal(tmp_path / "j")
+        with pytest.warns(RuntimeWarning, match="disabling the journal"):
+            assert j.done("digest-a") is False
+        assert j.disabled and j.appended == 0
+        assert j.done("digest-b") is False    # silent no-op once disabled
+    finally:
+        faults.install(None)
+    assert Journal(tmp_path / "j").replay() == []
+
+
+def test_resolve_journal_normalizes(tmp_path):
+    assert resolve_journal(None) is None
+    j = resolve_journal(tmp_path / "j")
+    assert isinstance(j, Journal) and resolve_journal(j) is j
+    with pytest.raises(TypeError, match="journal must be"):
+        resolve_journal(42)
+
+
 # ---------------------------------------------------------- e2e service
 
 @pytest.fixture(scope="module")
@@ -232,6 +310,124 @@ def test_status_polling_and_unknown_job(service):
         client.status("job-does-not-exist")
     with pytest.raises(ServiceError, match="400"):
         client.submit({"mixes": [], "designs": ["waypart"]})
+
+
+def test_stream_from_row_skips_already_received_rows(service):
+    spec = CampaignSpec(mixes=("C1",), designs=("waypart", "hydrogen"),
+                        engine="batch", **TINY)
+    client = ServiceClient(service.host, service.port)
+    rows, final = client.run(spec)
+    assert final.ok and len(rows) == 3
+    resumed = list(client.stream(final.job_id, from_row=1))
+    assert resumed == rows[1:]
+    assert client.last_status is not None
+    assert list(client.stream(final.job_id, from_row=99)) == []
+
+
+def test_health_reports_queue_shape_and_no_journal(service):
+    client = ServiceClient(service.host, service.port)
+    health = HealthReport.from_json(client.health())
+    assert health.ok and health.state == "serving"
+    assert set(health.queued_by_class) == set(PRIORITIES)
+    assert health.journal is None             # this fixture runs bare
+    assert health.max_queued_cells is None
+
+
+def test_backpressure_returns_429_while_the_queue_is_full():
+    # One-cell batches + a hang on every first attempt keep cells parked
+    # in the queue long enough to observe admission control.
+    faults.install("hang:1x1@seed=0")
+    try:
+        with serve_in_thread(port=0, workers=1, batch_cells=1,
+                             max_queued_cells=1) as handle:
+            client = ServiceClient(handle.host, handle.port, retry=None)
+            first = client.submit(CampaignSpec(
+                mixes=("C1", "C2"), designs=("waypart",), engine="fast",
+                **TINY))
+            with pytest.raises(ServiceError, match="429") as exc:
+                client.submit(CampaignSpec(
+                    mixes=("C3",), designs=("waypart",), engine="fast",
+                    **TINY))
+            assert exc.value.status == 429
+            # A retrying client rides out the backpressure window.
+            patient = ServiceClient(handle.host, handle.port, retry=30)
+            rows, final = patient.run(CampaignSpec(
+                mixes=("C3",), designs=("waypart",), engine="fast",
+                **TINY))
+            assert final.ok and len(rows) == 2
+            list(client.stream(first.job_id))
+    finally:
+        faults.install(None)
+
+
+def test_drain_mid_campaign_then_restart_is_bit_identical(tmp_path):
+    """In-process graceful drain: the journal hands off to a restart."""
+    spec = CampaignSpec(mixes=("C1", "C2"), designs=("waypart",),
+                        engine="fast", **TINY)
+    faults.install("hang:1x1@seed=0")         # slow cells: drain lands
+    try:                                      # mid-campaign
+        handle = serve_in_thread(port=0, workers=1, batch_cells=1,
+                                 journal=tmp_path / "journal")
+        client = ServiceClient(handle.host, handle.port)
+        submitted = client.submit(spec)
+        handle.drain()
+        assert handle.server.draining
+        assert not handle.server.data_loss    # journal holds the rest
+        assert handle.stop() is True
+    finally:
+        faults.install(None)
+    recovered = serve_in_thread(port=0, workers=1,
+                                journal=tmp_path / "journal")
+    with recovered:
+        assert recovered.server.generation == 2
+        client = ServiceClient(recovered.host, recovered.port)
+        status = client.submit(spec, attach=True)
+        assert status.job_id == submitted.job_id   # recovered, not new
+        rows = list(client.stream(status.job_id))
+        final = client.last_status
+    assert final is not None and final.state == "done"
+    ref = api.sweep(mixes=["C1", "C2"], designs=("waypart",),
+                    engine="fast", cache=None, **TINY).rows()
+    assert sorted(rows, key=lambda r: (r.design, r.mix)) == \
+        sorted(ref, key=lambda r: (r.design, r.mix))
+
+
+def test_submitting_while_draining_gets_503(tmp_path):
+    # Flip the drain flag without running the full drain (which ends by
+    # closing the socket): submissions inside the drain window get 503.
+    with serve_in_thread(port=0, workers=1,
+                         journal=tmp_path / "journal") as handle:
+        client = ServiceClient(handle.host, handle.port, retry=None)
+        done = threading.Event()
+
+        def _flag() -> None:
+            handle.server.draining = True
+            done.set()
+
+        handle.loop.call_soon_threadsafe(_flag)
+        assert done.wait(timeout=10)
+        with pytest.raises(ServiceError, match="503") as exc:
+            client.submit(CampaignSpec(mixes=("C1",),
+                                       designs=("waypart",), **TINY))
+        assert exc.value.status == 503
+        assert client.health()["state"] == "draining"
+
+
+def test_service_handle_stop_timeout_warns_and_flags():
+    hung = threading.Event()
+    thread = threading.Thread(target=hung.wait, daemon=True)
+    thread.start()
+    server = types.SimpleNamespace(_stopped=asyncio.Event(),
+                                   host="127.0.0.1")
+    loop = types.SimpleNamespace(
+        call_soon_threadsafe=lambda fn, *a: fn(*a))
+    handle = ServiceHandle(server, loop, thread)   # type: ignore[arg-type]
+    assert handle.stopped_cleanly is True
+    with pytest.warns(RuntimeWarning, match="did not stop"):
+        assert handle.stop(timeout=0.1) is False
+    assert handle.stopped_cleanly is False
+    hung.set()
+    thread.join(timeout=5)
 
 
 def test_chaos_stream_completes_with_failure_accounting():
